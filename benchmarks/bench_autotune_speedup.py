@@ -1,0 +1,70 @@
+"""Sec. V-G numbers — end-to-end speedup from GEMM auto-tuning in AIMD.
+
+The paper reports 13% (urea trimer) and 12% (paracetamol trimer) AIMD
+speedups from runtime variant tuning on a single MI250X GCD, exploiting
+the fact that the same GEMM shapes recur 10-100x per gradient and again
+every time step. We run repeated RI-MP2 gradients of a urea monomer
+(the AIMD inner loop) with tuning enabled vs disabled and report the
+measured gain on this machine's BLAS. CPU BLAS variant spreads are much
+smaller than ROCm's (Table IV), so single-digit percentages are the
+expected shape here.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_table
+from repro.gemm import GLOBAL_TUNER, set_autotune
+from repro.mp2.rimp2_grad import rimp2_gradient
+from repro.scf import rhf
+from repro.systems import urea_molecule
+
+BASIS = "sto-3g"
+STEPS = 4
+
+
+def _run_steps(mol) -> float:
+    t0 = time.perf_counter()
+    for _ in range(STEPS):
+        res = rhf(mol, BASIS, ri=True)
+        rimp2_gradient(res)
+    return time.perf_counter() - t0
+
+
+def test_autotune_aimd_speedup(run_once, record_output):
+    mol = urea_molecule()
+
+    def experiment():
+        GLOBAL_TUNER.reset()
+        set_autotune(False)
+        _run_steps(mol)  # warm BLAS/caches
+        t_off = _run_steps(mol)
+        GLOBAL_TUNER.reset()
+        set_autotune(True)
+        _run_steps(mol)  # tuning trials happen here (in-situ, not wasted)
+        t_on = _run_steps(mol)
+        set_autotune(True)
+        shapes_tuned = len(GLOBAL_TUNER.best)
+        gain = (t_off / t_on - 1.0) * 100.0
+        table = format_table(
+            ["configuration", f"{STEPS} gradient steps (s)"],
+            [
+                ("auto-tuning off", f"{t_off:.2f}"),
+                ("auto-tuning on (post-trials)", f"{t_on:.2f}"),
+                ("speedup", f"{gain:+.1f}%"),
+                ("GEMM shapes tuned", shapes_tuned),
+            ],
+            title=(
+                "Sec. V-G (CPU reproduction) — AIMD speedup from GEMM "
+                "auto-tuning\n(paper: +13% urea / +12% paracetamol on an "
+                "MI250X GCD)"
+            ),
+        )
+        return table, gain, shapes_tuned
+
+    table, gain, shapes_tuned = run_once(experiment)
+    record_output("autotune_speedup", table)
+    assert shapes_tuned > 0
+    # tuned execution must not be meaningfully slower than untuned
+    assert gain > -10.0

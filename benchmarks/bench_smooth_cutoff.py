@@ -1,0 +1,76 @@
+"""Ablation (paper future work, Sec. VII-A) — smooth polymer-cutoff
+switching vs hard cutoffs.
+
+The paper attributes part of its Fig. 6 total-energy fluctuations to
+"polymer corrections dropping in and out as the distance between the
+polymers fluctuates around the cutoff" and plans a smooth transition as
+future work. We implement that transition (C2 quintic switch on each
+correction, exact gradients — `repro.frag.switching`) and measure NVE
+drift/fluctuation with the cutoff deliberately placed on a populated
+neighbor distance so crossings actually happen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import analyze_conservation, format_table
+from repro.calculators import PairwisePotentialCalculator
+from repro.chem.geometry import pairwise_distances
+from repro.frag import FragmentedSystem
+from repro.md import run_aimd
+from repro.systems import water_cluster
+
+
+def test_smooth_cutoff_conservation(run_once, record_output):
+    mol = water_cluster(8, seed=23)
+    fs = FragmentedSystem.by_components(mol)
+    calc = PairwisePotentialCalculator()
+    # place the cutoff exactly on a populated centroid distance so
+    # thermal motion drives corrections across it
+    d = pairwise_distances(fs.centroids())
+    pairs = np.sort(d[np.triu_indices_from(d, k=1)])
+    r_cut = float(np.median(pairs)) * 1.001
+
+    def experiment():
+        kw = dict(
+            nsteps=250, dt_fs=0.5, r_dimer_bohr=r_cut, mbe_order=2,
+            temperature_k=250, seed=5,
+        )
+        hard = run_aimd(fs, calc, replan_interval=1, **kw)
+        smooth = run_aimd(fs, calc, smooth_switching=True, **kw)
+        reps = {}
+        rows = []
+        for label, traj in (("hard cutoff", hard), ("smooth switching", smooth)):
+            rep = analyze_conservation(
+                np.array(traj.times_fs), np.array(traj.potential),
+                np.array(traj.kinetic),
+            )
+            reps[label] = rep
+            rows.append(
+                (label, f"{rep.drift_hartree_per_fs:.2e}",
+                 f"{rep.rms_fluctuation_hartree:.2e}",
+                 f"{rep.max_deviation_hartree:.2e}")
+            )
+        table = format_table(
+            ["mode", "drift Ha/fs", "RMS fluct Ha", "max dev Ha"],
+            rows,
+            title=(
+                "Smooth cutoff switching ablation — 125 fs NVE with the "
+                "dimer cutoff on a populated neighbor distance\n(paper "
+                "Fig. 6 discussion: hard cutoffs cause corrections to drop "
+                "in and out; switching is the proposed fix)"
+            ),
+        )
+        return table, reps
+
+    table, reps = run_once(experiment)
+    record_output("smooth_cutoff_ablation", table)
+    hard = reps["hard cutoff"]
+    smooth = reps["smooth switching"]
+    # switching reduces the worst-case cutoff-crossing jump and does not
+    # worsen the overall fluctuation; both drifts stay at noise level
+    assert smooth.max_deviation_hartree <= hard.max_deviation_hartree
+    assert smooth.rms_fluctuation_hartree <= 1.2 * hard.rms_fluctuation_hartree
+    assert abs(smooth.drift_hartree_per_fs) < 1e-6
+    assert abs(hard.drift_hartree_per_fs) < 1e-6

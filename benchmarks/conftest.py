@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and
+prints it (also saved under ``benchmarks/output/``). Timings are taken
+with pytest-benchmark in pedantic single-round mode because each
+"benchmark" is an experiment, not a microkernel.
+
+Scale note: laptop-scale stand-ins are used where the paper used
+Frontier/Perlmutter (see DESIGN.md for the substitution table); the
+environment variable ``REPRO_BENCH_SCALE=full`` switches the simulator
+benchmarks to the paper's full system sizes (slower).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full"
+
+
+@pytest.fixture
+def record_output():
+    """Print a result table and persist it under benchmarks/output/."""
+
+    def _record(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Execute an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

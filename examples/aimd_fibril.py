@@ -1,0 +1,81 @@
+"""Asynchronous fragment AIMD of a protein-fibril stand-in.
+
+Reproduces the paper's Sec. VII-A workflow end to end at laptop scale:
+
+1. build a beta-strand fibril fragmented per residue (H-caps across
+   the peptide bonds);
+2. determine dimer/trimer cutoffs from per-polymer energy
+   contributions (Fig. 5 methodology);
+3. run NVE dynamics through the *asynchronous* coordinator — monomers
+   near the reference fragment advance to the next time step while the
+   far side of the system is still finishing the previous one;
+4. check total-energy conservation (Fig. 6).
+
+The default potential is the classical surrogate so the script runs in
+seconds; pass --quantum for real RI-MP2 forces on a smaller fibril.
+
+Run:  python examples/aimd_fibril.py [--quantum]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import analyze_conservation
+from repro.calculators import PairwisePotentialCalculator, RIMP2Calculator
+from repro.constants import BOHR_PER_ANGSTROM
+from repro.frag import determine_cutoffs
+from repro.md import AsyncCoordinator, run_serial
+from repro.md.integrators import maxwell_boltzmann_velocities
+from repro.systems import fibril_fragmented
+
+parser = argparse.ArgumentParser()
+parser.add_argument("--quantum", action="store_true",
+                    help="use real RI-MP2 forces (slower)")
+args = parser.parse_args()
+
+if args.quantum:
+    fs = fibril_fragmented(nstrands=1, residues_per_strand=2)
+    calc = RIMP2Calculator(basis="sto-3g")
+    nsteps, dt = 5, 0.25
+else:
+    fs = fibril_fragmented(nstrands=4, residues_per_strand=6)
+    calc = PairwisePotentialCalculator(at_strength=5.0)
+    nsteps, dt = 100, 0.5
+
+print(f"fibril: {fs.parent.natoms} atoms, {fs.nmonomers} monomers, "
+      f"{fs.parent.nelectrons} electrons")
+
+# --- cutoff determination (Fig. 5, the paper's 0.1 kJ/mol threshold) -------
+r_dim, r_tri, dimer_curve, trimer_curve = determine_cutoffs(
+    fs, calc, reference=0, threshold_kjmol=0.1, trimer_scan_angstrom=10.0
+)
+r_dim = min(max(r_dim, 8.0), 16.0)
+r_tri = max(min(r_tri, r_dim), 5.0)
+print(f"cutoffs from contribution screening: dimers {r_dim:.1f} A, "
+      f"trimers {r_tri:.1f} A "
+      f"({len(dimer_curve.distances_angstrom)} dimers scanned)")
+
+# --- asynchronous NVE dynamics ---------------------------------------------
+v0 = maxwell_boltzmann_velocities(fs.parent.masses_au, 150.0, seed=7)
+coordinator = AsyncCoordinator(
+    fs,
+    nsteps=nsteps,
+    dt_fs=dt,
+    r_dimer_bohr=r_dim * BOHR_PER_ANGSTROM,
+    r_trimer_bohr=r_tri * BOHR_PER_ANGSTROM,
+    mbe_order=3,
+    velocities=v0,
+    replan_interval=5,
+)
+print(f"reference monomer (extremity): {coordinator.reference}")
+run_serial(coordinator, calc)
+
+t, pe, ke = coordinator.trajectory_energies()
+rep = analyze_conservation(t, pe, ke)
+print(f"\n{nsteps} steps x {dt} fs, {coordinator.tasks_issued} polymer "
+      f"calculations")
+print(f"total energy: {rep.mean_total:.6f} Ha")
+print(f"drift: {rep.drift_hartree_per_fs:.2e} Ha/fs   "
+      f"RMS fluctuation: {rep.rms_fluctuation_kjmol:.4f} kJ/mol")
+print("energy conserved:", rep.conserved())

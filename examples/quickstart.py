@@ -1,0 +1,47 @@
+"""Quickstart: RI-HF + RI-MP2 energy and analytic gradient of one molecule.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Molecule, mp2, rhf, rimp2_gradient
+from repro.gemm import GLOBAL_TUNER, count_flops
+
+# Water at a standard geometry (Angstrom).
+mol = Molecule.from_angstrom(
+    ["O", "H", "H"],
+    [[0.0, 0.0, 0.1173], [0.0, 0.7572, -0.4692], [0.0, -0.7572, -0.4692]],
+)
+
+print(f"molecule: {mol.formula()}  ({mol.nelectrons} electrons)")
+
+with count_flops() as flops:
+    # RI-HF: the Fock build is a pure GEMM sequence over the fitted
+    # three-center tensor (paper Eq. 8); the auxiliary basis is
+    # auto-generated (even-tempered stand-in for cc-pVDZ-RIFIT).
+    scf = rhf(mol, "repro-dz", ri=True)
+    print(f"RI-HF energy:      {scf.energy:.8f} Ha "
+          f"({scf.niter} SCF iterations)")
+
+    # RI-MP2 correlation energy, Eq. (9): (ia|jb) = sum_P B_ia^P B_jb^P.
+    corr = mp2(scf)
+    print(f"RI-MP2 correction: {corr.e_corr:.8f} Ha")
+    print(f"total energy:      {corr.e_total:.8f} Ha")
+
+    # Fully analytic RI-HF + RI-MP2 nuclear gradient — no four-center
+    # integrals or derivatives anywhere (paper Sec. V-E + Appendix).
+    grad = rimp2_gradient(scf)
+
+print("\ngradient (Ha/Bohr):")
+for sym, g in zip(mol.symbols, grad):
+    print(f"  {sym:<2s} {g[0]:12.8f} {g[1]:12.8f} {g[2]:12.8f}")
+print(f"\n|g| max: {np.abs(grad).max():.6f}   "
+      f"translational sum: {np.abs(grad.sum(axis=0)).max():.2e}")
+
+# Runtime FLOP accounting: every GEMM adds 2mnk (paper Sec. VI-C), and
+# the auto-tuner has been picking NN/NT/TN/TT variants per shape.
+print(f"\ncounted GEMM FLOPs: {flops.flops:,} in {flops.calls} calls")
+print(f"GEMM shapes auto-tuned so far: {len(GLOBAL_TUNER.best)}")

@@ -1,0 +1,47 @@
+"""Energy-conservation diagnostics for NVE trajectories (paper Fig. 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import KJMOL_PER_HARTREE
+
+
+@dataclass
+class ConservationReport:
+    """Summary statistics of total-energy conservation."""
+
+    nsteps: int
+    mean_total: float
+    drift_hartree_per_fs: float
+    rms_fluctuation_hartree: float
+    max_deviation_hartree: float
+
+    @property
+    def rms_fluctuation_kjmol(self) -> float:
+        return self.rms_fluctuation_hartree * KJMOL_PER_HARTREE
+
+    def conserved(self, max_drift: float = 1e-5, max_rms: float = 1e-3) -> bool:
+        """Loose pass/fail for automated checks."""
+        return (
+            abs(self.drift_hartree_per_fs) < max_drift
+            and self.rms_fluctuation_hartree < max_rms
+        )
+
+
+def analyze_conservation(
+    times_fs: np.ndarray, potential: np.ndarray, kinetic: np.ndarray
+) -> ConservationReport:
+    """Drift (linear fit) and fluctuation of the total energy."""
+    t = np.asarray(times_fs, dtype=float)
+    tot = np.asarray(potential, dtype=float) + np.asarray(kinetic, dtype=float)
+    drift = float(np.polyfit(t, tot, 1)[0]) if len(t) > 1 else 0.0
+    return ConservationReport(
+        nsteps=len(t),
+        mean_total=float(tot.mean()),
+        drift_hartree_per_fs=drift,
+        rms_fluctuation_hartree=float(np.sqrt(np.mean((tot - tot.mean()) ** 2))),
+        max_deviation_hartree=float(np.abs(tot - tot[0]).max()),
+    )

@@ -1,0 +1,91 @@
+"""Many-body decomposition reporting: per-order energy breakdown.
+
+Splits an MBE energy into its one-, two- and three-body totals — the
+quantity Fig. 5 aggregates and the standard diagnostic for whether MBE3
+has converged for a system (paper Sec. V-B: 2 kJ/mol/monomer requires
+three-body terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import KJMOL_PER_HARTREE
+from ..frag.mbe import MBEPlan, build_plan
+from ..frag.monomer import FragmentedSystem
+from .report import format_table
+
+
+@dataclass
+class MBEDecomposition:
+    """Energy totals per many-body order (Hartree)."""
+
+    one_body: float
+    two_body: float
+    three_body: float
+    ndimers: int
+    ntrimers: int
+
+    @property
+    def total(self) -> float:
+        return self.one_body + self.two_body + self.three_body
+
+    def table(self, nmonomers: int) -> str:
+        """Render the decomposition in the paper's kJ/mol/monomer units."""
+        rows = [
+            ("1-body (monomers)", f"{self.one_body:.8f}", "-"),
+            ("2-body (dimer corr.)", f"{self.two_body:.8f}",
+             f"{self.two_body * KJMOL_PER_HARTREE / nmonomers:.3f}"),
+            ("3-body (trimer corr.)", f"{self.three_body:.8f}",
+             f"{self.three_body * KJMOL_PER_HARTREE / nmonomers:.3f}"),
+            ("total", f"{self.total:.8f}", "-"),
+        ]
+        return format_table(
+            ["order", "energy (Ha)", "kJ/mol per monomer"], rows,
+            title=(
+                f"MBE decomposition ({nmonomers} monomers, "
+                f"{self.ndimers} dimers, {self.ntrimers} trimers)"
+            ),
+        )
+
+
+def mbe_decomposition(
+    system: FragmentedSystem,
+    calculator,
+    r_dimer_bohr: float,
+    r_trimer_bohr: float | None = None,
+    order: int = 3,
+) -> MBEDecomposition:
+    """Evaluate the MBE and return its per-order energy breakdown.
+
+    Fragment energies are computed once and combined into
+    ``sum E_I``, ``sum dE_IJ`` and ``sum dE_IJK``.
+    """
+    plan: MBEPlan = build_plan(
+        system, r_dimer_bohr, r_trimer_bohr if order >= 3 else None,
+        order=order,
+    )
+    cache: dict[tuple[int, ...], float] = {}
+
+    def e(key: tuple[int, ...]) -> float:
+        if key not in cache:
+            mol, _, _ = system.fragment_molecule(key)
+            if hasattr(calculator, "energy"):
+                cache[key] = calculator.energy(mol)
+            else:
+                cache[key] = calculator.energy_gradient(mol)[0]
+        return cache[key]
+
+    one = sum(e((m,)) for m in range(system.nmonomers))
+    two = sum(e((i, j)) - e((i,)) - e((j,)) for i, j in plan.dimers)
+    three = 0.0
+    for i, j, k in plan.trimers:
+        three += (
+            e((i, j, k))
+            - e((i, j)) - e((i, k)) - e((j, k))
+            + e((i,)) + e((j,)) + e((k,))
+        )
+    return MBEDecomposition(
+        one_body=one, two_body=two, three_body=three,
+        ndimers=len(plan.dimers), ntrimers=len(plan.trimers),
+    )

@@ -1,0 +1,40 @@
+"""Mulliken population analysis from SCF/relaxed densities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..scf.rhf import SCFResult
+
+
+def mulliken_charges(res: "SCFResult", density: np.ndarray | None = None) -> np.ndarray:
+    """Mulliken atomic partial charges ``q_A = Z_A - sum_{mu in A} (DS)_mumu``.
+
+    Args:
+        res: converged SCF result (supplies basis, overlap, Z).
+        density: optional density override (e.g. SCF + MP2 relaxed); the
+            occupation-2 SCF density by default.
+
+    Returns:
+        charges, shape ``(natoms,)``; they sum to the molecular charge.
+    """
+    D = res.D if density is None else density
+    PS = D @ res.S
+    pops = np.diag(PS)
+    atoms = res.basis.function_atoms()
+    natoms = res.mol.natoms
+    q = res.mol.atomic_numbers.astype(float)
+    for mu, a in enumerate(atoms):
+        q[a] -= pops[mu]
+    return q
+
+
+def mulliken_mp2_charges(res: "SCFResult") -> np.ndarray:
+    """Mulliken charges from the MP2 *relaxed* density (SCF + response)."""
+    from ..mp2.rimp2_grad import mp2_correction_coefficients
+
+    cc = mp2_correction_coefficients(res)
+    return mulliken_charges(res, density=res.D + cc.Pc_ao)

@@ -1,0 +1,40 @@
+"""Scaling-study post-processing: efficiency tables from simulator runs."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .report import format_table
+
+
+def strong_scaling_table(
+    node_counts: Sequence[int],
+    times_per_step_s: Sequence[float],
+    title: str = "strong scaling",
+) -> str:
+    """Render times into the paper's Fig. 7 style with efficiencies."""
+    base_n, base_t = node_counts[0], times_per_step_s[0]
+    rows = []
+    for n, t in zip(node_counts, times_per_step_s):
+        speedup = base_t / t
+        eff = speedup / (n / base_n)
+        rows.append((n, f"{t:.3f}", f"{speedup:.2f}x", f"{100 * eff:.0f}%"))
+    return format_table(
+        ["nodes", "s/step", "speedup", "parallel eff."], rows, title=title
+    )
+
+
+def weak_scaling_efficiencies(
+    work_per_worker: Sequence[float], times_per_step_s: Sequence[float]
+) -> list[float]:
+    """Work-throughput-per-worker efficiencies relative to the first
+    point (reduces to t0/t when the workload match is exact)."""
+    base = work_per_worker[0] / times_per_step_s[0]
+    return [
+        (w / t) / base for w, t in zip(work_per_worker, times_per_step_s)
+    ]
+
+
+def speedup_percent(t_slow: float, t_fast: float) -> float:
+    """The paper's speedup convention: (slow/fast - 1) * 100."""
+    return (t_slow / t_fast - 1.0) * 100.0

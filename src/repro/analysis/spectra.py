@@ -1,0 +1,73 @@
+"""Vibrational density of states from MD trajectories (VACF spectrum).
+
+The Fourier transform of the velocity autocorrelation function gives
+the vibrational density of states — the dynamical observable AIMD
+trajectories are usually harvested for, connecting the MD layer to the
+static normal-mode analysis in `repro.vibrations`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+def velocity_autocorrelation(
+    velocities: np.ndarray,
+    max_lag: int | None = None,
+    masses: np.ndarray | None = None,
+) -> np.ndarray:
+    """Normalized VACF ``C(t) = <v(0).v(t)> / <v(0).v(0)>``.
+
+    Args:
+        velocities: ``(nframes, natoms, 3)`` array.
+        max_lag: number of lags (default: nframes // 2).
+        masses: optional per-atom masses for the mass-weighted VACF
+            (the standard VDOS weighting).
+    """
+    v = np.asarray(velocities, dtype=float)
+    if masses is not None:
+        v = v * np.sqrt(np.asarray(masses, dtype=float))[None, :, None]
+    nframes = v.shape[0]
+    if max_lag is None:
+        max_lag = nframes // 2
+    flat = v.reshape(nframes, -1)
+    c = np.empty(max_lag)
+    for lag in range(max_lag):
+        c[lag] = float(np.mean(np.sum(flat[: nframes - lag] * flat[lag:], axis=1)))
+    if c[0] == 0.0:
+        return c
+    return c / c[0]
+
+
+def vibrational_spectrum(
+    velocities: np.ndarray,
+    dt_fs: float,
+    max_lag: int | None = None,
+    masses: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Power spectrum of the (optionally mass-weighted) VACF.
+
+    Returns ``(frequencies_cm1, intensities)`` with a Hann window applied
+    to suppress truncation ripple.
+    """
+    c = velocity_autocorrelation(velocities, max_lag=max_lag, masses=masses)
+    n = len(c)
+    window = np.hanning(2 * n)[n:]
+    spec = np.abs(np.fft.rfft(c * window))
+    freqs_per_fs = np.fft.rfftfreq(n, d=dt_fs)
+    # nu[1/fs] -> cm^-1:  nu / c  with c = 2.99792458e-5 cm/fs
+    freqs_cm1 = freqs_per_fs / 2.99792458e-5
+    return freqs_cm1, spec
+
+
+def dominant_frequency_cm1(
+    velocities: np.ndarray,
+    dt_fs: float,
+    f_min_cm1: float = 100.0,
+    masses: np.ndarray | None = None,
+) -> float:
+    """Location of the strongest vibrational peak above ``f_min_cm1``."""
+    freqs, spec = vibrational_spectrum(velocities, dt_fs, masses=masses)
+    mask = freqs > f_min_cm1
+    if not mask.any():
+        raise ValueError("no spectral points above the frequency floor")
+    return float(freqs[mask][np.argmax(spec[mask])])

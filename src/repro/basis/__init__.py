@@ -1,0 +1,16 @@
+"""Gaussian basis sets: shells, built-in data, auto-generated RI auxiliaries."""
+
+from .auxiliary import auto_auxiliary, element_auxiliary_shells
+from .basisset import BasisSet
+from .data import element_shells
+from .shell import Shell, double_factorial, primitive_norm
+
+__all__ = [
+    "BasisSet",
+    "Shell",
+    "auto_auxiliary",
+    "double_factorial",
+    "element_auxiliary_shells",
+    "element_shells",
+    "primitive_norm",
+]

@@ -1,0 +1,82 @@
+"""Automatic even-tempered auxiliary (RI fitting) basis generation.
+
+The paper uses cc-pVDZ-RIFIT. We auto-generate a fitting basis from the
+primary basis with the standard even-tempered-beta construction: products
+of primary Gaussians on one atom have exponents in
+``[2*alpha_min(l1)+..., 2*alpha_max]`` and angular momenta up to
+``l1+l2``; we cover that range per angular momentum with a geometric
+progression ``alpha_k = alpha_min * beta**k``. This is a simplification
+of the Stoychev/Auer/Izsak "AutoAux" scheme and adapts to whatever
+primary basis is in use, which is exactly the property the RI machinery
+needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chem.molecule import Molecule
+from .basisset import BasisSet
+from .data import element_shells
+from .shell import Shell
+
+DEFAULT_BETA = 2.5
+
+
+def _primary_exponent_ranges(
+    shell_data: list[tuple[int, list[float], list[float]]]
+) -> dict[int, tuple[float, float]]:
+    """Per-angular-momentum (min, max) primitive exponent of the primary."""
+    ranges: dict[int, tuple[float, float]] = {}
+    for l, exps, _ in shell_data:
+        lo, hi = min(exps), max(exps)
+        if l in ranges:
+            plo, phi = ranges[l]
+            ranges[l] = (min(lo, plo), max(hi, phi))
+        else:
+            ranges[l] = (lo, hi)
+    return ranges
+
+
+def element_auxiliary_shells(
+    symbol: str, basis: str, beta: float = DEFAULT_BETA
+) -> list[tuple[int, float]]:
+    """Uncontracted auxiliary shells ``(l, exponent)`` for one element."""
+    data = element_shells(symbol, basis)
+    ranges = _primary_exponent_ranges(data)
+    lmax_prim = max(ranges)
+    shells: list[tuple[int, float]] = []
+    for laux in range(2 * lmax_prim + 1):
+        # Product exponent range for this auxiliary momentum: combine the
+        # primary ranges of all (l1, l2) with l1 + l2 >= laux.
+        lo = np.inf
+        hi = 0.0
+        for l1, (lo1, hi1) in ranges.items():
+            for l2, (lo2, hi2) in ranges.items():
+                if l1 + l2 < laux:
+                    continue
+                lo = min(lo, lo1 + lo2)
+                hi = max(hi, hi1 + hi2)
+        if not np.isfinite(lo):
+            continue
+        # Geometric ladder covering [lo, hi].
+        n = max(1, int(np.ceil(np.log(hi / lo) / np.log(beta))) + 1)
+        for k in range(n):
+            shells.append((laux, lo * beta**k))
+    return shells
+
+
+def auto_auxiliary(
+    mol: Molecule, basis: str = "sto-3g", beta: float = DEFAULT_BETA
+) -> BasisSet:
+    """Even-tempered auxiliary basis for RI fitting over ``mol``."""
+    cache: dict[str, list[tuple[int, float]]] = {}
+    shells: list[Shell] = []
+    for iatom, sym in enumerate(mol.symbols):
+        if sym not in cache:
+            cache[sym] = element_auxiliary_shells(sym, basis, beta=beta)
+        for l, exp in cache[sym]:
+            shells.append(
+                Shell(l, mol.coords[iatom], np.array([exp]), np.array([1.0]), atom=iatom)
+            )
+    return BasisSet(shells)

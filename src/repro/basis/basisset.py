@@ -1,0 +1,62 @@
+"""Molecular basis set: an ordered list of shells over a molecule."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..chem.molecule import Molecule
+from .data import element_shells
+from .shell import Shell
+
+
+class BasisSet:
+    """Ordered shells spanning a molecule, with function offsets.
+
+    Attributes:
+        shells: list of `Shell`.
+        offsets: starting basis-function index of each shell.
+        nbf: total number of (Cartesian) basis functions.
+    """
+
+    def __init__(self, shells: Iterable[Shell]) -> None:
+        self.shells: list[Shell] = list(shells)
+        self.offsets: list[int] = []
+        n = 0
+        for sh in self.shells:
+            self.offsets.append(n)
+            n += sh.nfunc
+        self.nbf: int = n
+
+    @classmethod
+    def build(cls, mol: Molecule, basis: str = "sto-3g") -> "BasisSet":
+        """Construct the basis for every atom of ``mol``."""
+        shells: list[Shell] = []
+        for iatom, sym in enumerate(mol.symbols):
+            for l, exps, coefs in element_shells(sym, basis):
+                shells.append(
+                    Shell(l, mol.coords[iatom], np.array(exps), np.array(coefs), atom=iatom)
+                )
+        return cls(shells)
+
+    @property
+    def nshells(self) -> int:
+        return len(self.shells)
+
+    @property
+    def max_l(self) -> int:
+        return max(sh.l for sh in self.shells)
+
+    def function_atoms(self) -> np.ndarray:
+        """Owning atom index of every basis function, shape ``(nbf,)``."""
+        out = np.empty(self.nbf, dtype=int)
+        for sh, off in zip(self.shells, self.offsets):
+            out[off : off + sh.nfunc] = sh.atom
+        return out
+
+    def __len__(self) -> int:
+        return self.nshells
+
+    def __repr__(self) -> str:
+        return f"BasisSet(nshells={self.nshells}, nbf={self.nbf}, max_l={self.max_l})"

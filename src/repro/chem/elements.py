@@ -1,0 +1,88 @@
+"""Periodic-table data for the elements used by the benchmark systems.
+
+Covalent radii (Å) follow Cordero et al. (2008); masses are standard
+atomic weights in Dalton. Only main-group elements through Ar are needed
+for urea, paracetamol, glycine, water and the protein-fibril mimics, but
+the table extends through Kr for generality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Element:
+    """Static per-element data.
+
+    Attributes:
+        symbol: IUPAC symbol, e.g. ``"C"``.
+        number: atomic number Z.
+        mass: standard atomic weight in Dalton.
+        covalent_radius: covalent radius in Angstrom.
+    """
+
+    symbol: str
+    number: int
+    mass: float
+    covalent_radius: float
+
+
+_ELEMENT_TABLE: tuple[tuple[str, int, float, float], ...] = (
+    ("H", 1, 1.00794, 0.31),
+    ("He", 2, 4.002602, 0.28),
+    ("Li", 3, 6.941, 1.28),
+    ("Be", 4, 9.012182, 0.96),
+    ("B", 5, 10.811, 0.84),
+    ("C", 6, 12.0107, 0.76),
+    ("N", 7, 14.0067, 0.71),
+    ("O", 8, 15.9994, 0.66),
+    ("F", 9, 18.9984032, 0.57),
+    ("Ne", 10, 20.1797, 0.58),
+    ("Na", 11, 22.98976928, 1.66),
+    ("Mg", 12, 24.3050, 1.41),
+    ("Al", 13, 26.9815386, 1.21),
+    ("Si", 14, 28.0855, 1.11),
+    ("P", 15, 30.973762, 1.07),
+    ("S", 16, 32.065, 1.05),
+    ("Cl", 17, 35.453, 1.02),
+    ("Ar", 18, 39.948, 1.06),
+    ("K", 19, 39.0983, 2.03),
+    ("Ca", 20, 40.078, 1.76),
+    ("Br", 35, 79.904, 1.20),
+    ("Kr", 36, 83.798, 1.16),
+)
+
+ELEMENTS: dict[str, Element] = {
+    sym: Element(sym, z, m, r) for sym, z, m, r in _ELEMENT_TABLE
+}
+ELEMENTS_BY_NUMBER: dict[int, Element] = {e.number: e for e in ELEMENTS.values()}
+
+
+def element(key: str | int) -> Element:
+    """Look up an element by symbol (case-insensitive) or atomic number."""
+    if isinstance(key, int):
+        try:
+            return ELEMENTS_BY_NUMBER[key]
+        except KeyError:
+            raise KeyError(f"no element with atomic number {key}") from None
+    norm = key.strip().capitalize()
+    try:
+        return ELEMENTS[norm]
+    except KeyError:
+        raise KeyError(f"unknown element symbol {key!r}") from None
+
+
+def atomic_number(symbol: str) -> int:
+    """Atomic number Z for an element symbol."""
+    return element(symbol).number
+
+
+def atomic_mass(symbol: str) -> float:
+    """Standard atomic weight (Dalton) for an element symbol."""
+    return element(symbol).mass
+
+
+def covalent_radius(symbol: str) -> float:
+    """Covalent radius in Angstrom for an element symbol."""
+    return element(symbol).covalent_radius

@@ -1,0 +1,49 @@
+"""Geometric utilities shared by fragmentation and system builders."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .molecule import Molecule
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Dense pairwise Euclidean distance matrix for ``(n, 3)`` points."""
+    pts = np.asarray(points, dtype=float)
+    diff = pts[:, None, :] - pts[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def min_interatomic_distance(a: Molecule, b: Molecule) -> float:
+    """Smallest atom-atom distance between two molecules, Bohr."""
+    diff = a.coords[:, None, :] - b.coords[None, :, :]
+    d2 = np.einsum("ijk,ijk->ij", diff, diff)
+    return float(np.sqrt(d2.min()))
+
+
+def centroid_distance(a: Molecule, b: Molecule) -> float:
+    """Distance between unweighted centroids, Bohr."""
+    return float(np.linalg.norm(a.centroid() - b.centroid()))
+
+
+def rotation_matrix(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rodrigues rotation matrix about ``axis`` by ``angle`` radians."""
+    axis = np.asarray(axis, dtype=float)
+    axis = axis / np.linalg.norm(axis)
+    kx, ky, kz = axis
+    K = np.array([[0.0, -kz, ky], [kz, 0.0, -kx], [-ky, kx, 0.0]])
+    return np.eye(3) + np.sin(angle) * K + (1.0 - np.cos(angle)) * (K @ K)
+
+
+def rotated(mol: Molecule, axis: np.ndarray, angle: float,
+            about: np.ndarray | None = None) -> Molecule:
+    """Return ``mol`` rotated about a point (default its centroid)."""
+    pivot = mol.centroid() if about is None else np.asarray(about, float)
+    R = rotation_matrix(axis, angle)
+    return mol.with_coords((mol.coords - pivot) @ R.T + pivot)
+
+
+def sphere_cut(points: np.ndarray, center: np.ndarray, radius: float) -> np.ndarray:
+    """Boolean mask of points within ``radius`` of ``center``."""
+    pts = np.asarray(points, dtype=float)
+    return np.linalg.norm(pts - np.asarray(center, float), axis=1) <= radius

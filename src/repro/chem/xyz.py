@@ -1,0 +1,54 @@
+"""XYZ-format reading and writing (coordinates in Angstrom on disk)."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..constants import ANGSTROM_PER_BOHR
+from .molecule import Molecule
+
+
+def parse_xyz(text: str, charge: int = 0) -> Molecule:
+    """Parse a single XYZ block (count line, comment line, atom lines)."""
+    lines = [ln for ln in text.strip().splitlines()]
+    if len(lines) < 2:
+        raise ValueError("XYZ text too short")
+    try:
+        n = int(lines[0].split()[0])
+    except (ValueError, IndexError):
+        raise ValueError(f"bad XYZ count line: {lines[0]!r}") from None
+    atom_lines = lines[2 : 2 + n]
+    if len(atom_lines) != n:
+        raise ValueError(f"expected {n} atom lines, found {len(atom_lines)}")
+    symbols: list[str] = []
+    coords: list[list[float]] = []
+    for ln in atom_lines:
+        parts = ln.split()
+        if len(parts) < 4:
+            raise ValueError(f"bad XYZ atom line: {ln!r}")
+        symbols.append(parts[0])
+        coords.append([float(x) for x in parts[1:4]])
+    return Molecule.from_angstrom(symbols, np.array(coords), charge=charge)
+
+
+def load_xyz(path: str | Path, charge: int = 0) -> Molecule:
+    """Read a molecule from an ``.xyz`` file."""
+    return parse_xyz(Path(path).read_text(), charge=charge)
+
+
+def format_xyz(mol: Molecule, comment: str = "") -> str:
+    """Serialize a molecule as XYZ text (Angstrom)."""
+    buf = io.StringIO()
+    buf.write(f"{mol.natoms}\n{comment}\n")
+    ang = mol.coords * ANGSTROM_PER_BOHR
+    for sym, (x, y, z) in zip(mol.symbols, ang):
+        buf.write(f"{sym:<3s} {x:18.10f} {y:18.10f} {z:18.10f}\n")
+    return buf.getvalue()
+
+
+def save_xyz(mol: Molecule, path: str | Path, comment: str = "") -> None:
+    """Write a molecule to an ``.xyz`` file."""
+    Path(path).write_text(format_xyz(mol, comment=comment))

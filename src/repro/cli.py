@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``scf <file.xyz>`` — RI-HF (or conventional) single point.
+* ``mp2 <file.xyz>`` — RI-HF + RI-MP2 single point (optionally SCS).
+* ``grad <file.xyz>`` — analytic RI-MP2 gradient.
+* ``opt <file.xyz>`` — BFGS geometry optimization.
+* ``aimd <file.xyz>`` — fragment AIMD (async or sync) with automatic
+  fragmentation into covalently connected monomers.
+* ``project`` — exascale Table V-style projection for urea clusters.
+
+All commands print plain-text results; energies in Hartree, geometry in
+Angstrom on disk, Bohr internally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load(path: str, charge: int):
+    from .chem.xyz import load_xyz
+
+    return load_xyz(path, charge=charge)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("xyz", help="input geometry (.xyz, Angstrom)")
+    p.add_argument("--basis", default="sto-3g",
+                   choices=["sto-3g", "repro-dz", "repro-dzp", "repro-tz", "repro-tzp"])
+    p.add_argument("--charge", type=int, default=0)
+    p.add_argument("--no-ri", action="store_true",
+                   help="conventional four-center SCF instead of RI")
+
+
+def cmd_scf(args) -> int:
+    """Single-point SCF."""
+    from .scf import rhf
+
+    mol = _load(args.xyz, args.charge)
+    res = rhf(mol, args.basis, ri=not args.no_ri)
+    print(f"molecule: {mol.formula()} ({mol.nelectrons} electrons)")
+    print(f"method:   {res.method} / {args.basis}")
+    print(f"E(SCF) = {res.energy:.10f} Ha   ({res.niter} iterations)")
+    print(f"HOMO = {res.eps[res.nocc - 1]:.6f}  LUMO = "
+          f"{res.eps[res.nocc]:.6f}" if res.nvirt else "")
+    return 0
+
+
+def cmd_mp2(args) -> int:
+    """Single-point (SCS-)MP2."""
+    from .mp2 import mp2_ri
+    from .mp2.mp2 import SCS_OS, SCS_SS
+    from .scf import rhf
+
+    mol = _load(args.xyz, args.charge)
+    res = rhf(mol, args.basis, ri=True)
+    if args.scs:
+        corr = mp2_ri(res, c_os=SCS_OS, c_ss=SCS_SS)
+        label = "SCS-MP2"
+    else:
+        corr = mp2_ri(res)
+        label = "MP2"
+    print(f"E(SCF)     = {res.energy:.10f} Ha")
+    print(f"E({label}) corr = {corr.e_corr:.10f} Ha")
+    print(f"E(total)   = {corr.e_total:.10f} Ha")
+    return 0
+
+
+def cmd_grad(args) -> int:
+    """Analytic gradient."""
+    from .mp2.rimp2_grad import rimp2_gradient
+    from .scf import rhf
+
+    mol = _load(args.xyz, args.charge)
+    res = rhf(mol, args.basis, ri=True)
+    out = rimp2_gradient(res, return_intermediates=True)
+    print(f"E(total) = {res.energy + out.e_corr:.10f} Ha")
+    print("gradient (Ha/Bohr):")
+    for sym, g in zip(mol.symbols, out.gradient):
+        print(f"  {sym:<3s} {g[0]:14.8f} {g[1]:14.8f} {g[2]:14.8f}")
+    rmsd = float(np.sqrt(np.mean(out.gradient**2)))
+    print(f"gradient RMSD: {rmsd:.2e} Ha/Bohr")
+    return 0
+
+
+def cmd_opt(args) -> int:
+    """Geometry optimization."""
+    from .calculators import RIMP2Calculator
+    from .chem.xyz import save_xyz
+    from .opt import optimize
+
+    mol = _load(args.xyz, args.charge)
+    calc = RIMP2Calculator(basis=args.basis)
+    res = optimize(mol, calc, max_iter=args.max_iter)
+    print(f"converged: {res.converged}  iterations: {res.niter}")
+    print(f"E(final) = {res.energy:.10f} Ha  grad RMSD = "
+          f"{res.gradient_rmsd:.2e} Ha/Bohr")
+    if args.output:
+        save_xyz(res.molecule, args.output,
+                 comment=f"optimized E={res.energy:.10f}")
+        print(f"wrote {args.output}")
+    return 0 if res.converged else 1
+
+
+def cmd_aimd(args) -> int:
+    """Fragment AIMD via the (a)synchronous coordinator."""
+    from .analysis import analyze_conservation
+    from .calculators import PairwisePotentialCalculator, RIMP2Calculator
+    from .constants import BOHR_PER_ANGSTROM
+    from .frag import FragmentedSystem
+    from .md import AsyncCoordinator, run_serial
+    from .md.integrators import maxwell_boltzmann_velocities
+
+    mol = _load(args.xyz, args.charge)
+    system = FragmentedSystem.by_components(mol, group_size=args.group_size)
+    if args.surrogate:
+        calc = PairwisePotentialCalculator()
+    else:
+        calc = RIMP2Calculator(basis=args.basis)
+    v0 = maxwell_boltzmann_velocities(
+        mol.masses_au, args.temperature, seed=args.seed
+    )
+    coordinator = AsyncCoordinator(
+        system,
+        nsteps=args.steps,
+        dt_fs=args.dt,
+        r_dimer_bohr=args.r_dimer * BOHR_PER_ANGSTROM,
+        r_trimer_bohr=args.r_trimer * BOHR_PER_ANGSTROM,
+        mbe_order=args.order,
+        velocities=v0,
+        synchronous=args.sync,
+    )
+    print(f"{system.nmonomers} monomers, reference fragment "
+          f"{coordinator.reference}, "
+          f"{'synchronous' if args.sync else 'asynchronous'} stepping")
+    run_serial(coordinator, calc)
+    t, pe, ke = coordinator.trajectory_energies()
+    rep = analyze_conservation(t, pe, ke)
+    print(f"{coordinator.tasks_issued} polymer calculations over "
+          f"{args.steps} steps")
+    print(f"total energy drift: {rep.drift_hartree_per_fs:.2e} Ha/fs, "
+          f"RMS fluctuation: {rep.rms_fluctuation_kjmol:.4f} kJ/mol")
+    return 0
+
+
+def cmd_project(args) -> int:
+    """Exascale projection for urea clusters."""
+    from .analysis import format_table
+    from .cluster import (
+        FRONTIER,
+        PAPER_CALIBRATED,
+        PERLMUTTER,
+        simulate_workload,
+        urea_workload,
+    )
+
+    machine = FRONTIER if args.machine == "frontier" else PERLMUTTER
+    nodes = args.nodes or machine.nodes
+    stats = urea_workload(args.molecules)
+    res = simulate_workload(
+        stats, machine, nodes, nsteps=3, cost_model=PAPER_CALIBRATED
+    )
+    rows = [
+        ("urea molecules", f"{args.molecules:,}"),
+        ("electrons", f"{stats.nmonomers * stats.electrons_per_monomer:,}"),
+        ("polymers/step", f"{stats.npolymers:,}"),
+        ("machine", f"{machine.name} x {nodes} nodes"),
+        ("time/step", f"{res.time_per_step_s / 60:.1f} min"),
+        ("FLOP rate", f"{res.flop_rate_pflops:.0f} PFLOP/s"),
+        ("fraction of peak", f"{100 * res.fraction_of_peak(machine):.0f}%"),
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title="Exascale AIMD projection"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fragment MBE3/RI-MP2 AIMD toolkit (SC'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("scf", help="RI-HF single point")
+    _add_common(p)
+    p.set_defaults(func=cmd_scf)
+
+    p = sub.add_parser("mp2", help="RI-MP2 single point")
+    _add_common(p)
+    p.add_argument("--scs", action="store_true", help="SCS-MP2 scaling")
+    p.set_defaults(func=cmd_mp2)
+
+    p = sub.add_parser("grad", help="analytic RI-MP2 gradient")
+    _add_common(p)
+    p.set_defaults(func=cmd_grad)
+
+    p = sub.add_parser("opt", help="geometry optimization")
+    _add_common(p)
+    p.add_argument("--max-iter", type=int, default=100)
+    p.add_argument("-o", "--output", help="write optimized geometry here")
+    p.set_defaults(func=cmd_opt)
+
+    p = sub.add_parser("aimd", help="fragment AIMD")
+    _add_common(p)
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--dt", type=float, default=0.5, help="time step (fs)")
+    p.add_argument("--temperature", type=float, default=300.0)
+    p.add_argument("--r-dimer", type=float, default=20.0, help="Angstrom")
+    p.add_argument("--r-trimer", type=float, default=12.0, help="Angstrom")
+    p.add_argument("--order", type=int, default=3, choices=[1, 2, 3])
+    p.add_argument("--group-size", type=int, default=1,
+                   help="molecules per monomer")
+    p.add_argument("--sync", action="store_true",
+                   help="synchronous stepping (global barrier)")
+    p.add_argument("--surrogate", action="store_true",
+                   help="classical surrogate potential instead of RI-MP2")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_aimd)
+
+    p = sub.add_parser("project", help="exascale projection (Table V style)")
+    p.add_argument("--molecules", type=int, default=63854)
+    p.add_argument("--machine", choices=["frontier", "perlmutter"],
+                   default="frontier")
+    p.add_argument("--nodes", type=int, default=None)
+    p.set_defaults(func=cmd_project)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

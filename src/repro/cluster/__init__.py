@@ -1,0 +1,41 @@
+"""Distributed-execution modeling: machines, cost model, simulators."""
+
+from .aggregate import (
+    AggregateResult,
+    list_schedule_makespan,
+    parallel_efficiency,
+    simulate_workload,
+    strong_scaling_curve,
+)
+from .costmodel import PAPER_CALIBRATED, FragmentCostModel, calibrate_gemm
+from .events import ClusterSimulator, SimResult, simulate_aimd
+from .machine import FRONTIER, PERLMUTTER, MachineSpec
+from .workloads import (
+    WorkloadStats,
+    count_polymers,
+    group_centroids,
+    urea_molecule_centroids,
+    urea_workload,
+)
+
+__all__ = [
+    "AggregateResult",
+    "ClusterSimulator",
+    "FRONTIER",
+    "FragmentCostModel",
+    "MachineSpec",
+    "PAPER_CALIBRATED",
+    "PERLMUTTER",
+    "SimResult",
+    "WorkloadStats",
+    "calibrate_gemm",
+    "count_polymers",
+    "group_centroids",
+    "list_schedule_makespan",
+    "parallel_efficiency",
+    "simulate_aimd",
+    "simulate_workload",
+    "strong_scaling_curve",
+    "urea_molecule_centroids",
+    "urea_workload",
+]

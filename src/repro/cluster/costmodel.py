@@ -1,0 +1,137 @@
+"""Per-fragment computational cost model.
+
+Assigns every polymer calculation a FLOP count split into the three
+operation classes the paper discusses (near-peak GEMMs, FLOP-inefficient
+integral kernels, eigensolvers), from which per-GCD execution times
+follow via the machine's class efficiencies. The GEMM term can be
+calibrated against the *measured* FLOP counter of the real engine
+(`calibrate_gemm`), tying the simulator to the actual implementation.
+
+Closed forms follow the RI-MP2 gradient algorithm structure with
+``o = n_e/2``, ``nbf = bf_ratio * n_e``, ``naux = aux_ratio * nbf``:
+
+* B-tensor build + metric application  ~ 2 nbf^2 naux^2
+* MO transformation                    ~ 2 nbf^3 naux
+* (ia|jb) + amplitude/Gamma work       ~ 8 (o v)^2 naux
+* SCF Fock builds (RI, J+K)            ~ n_iter (2 nbf^3 naux + 4 nbf^2 naux)
+* three-center integrals + derivatives ~ k_int nbf^2 naux      [integrals]
+* SCF diagonalizations                 ~ 10 n_iter nbf^3       [eig]
+
+The quintic-in-fragment-size GEMM terms dominate for large fragments
+(paper Fig. 3 regime); for the small fragments AIMD prefers, the
+integral and eigensolver classes take over, which is exactly why the
+paper's small-fragment runs sit at 31-35% of peak while the big urea
+runs reach 59%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .machine import MachineSpec
+
+
+@dataclass
+class FragmentCostModel:
+    """FLOP/time estimates for one polymer calculation."""
+
+    #: basis functions per electron (cc-pVDZ-like: urea gives 76/32)
+    bf_ratio: float = 2.4
+    #: auxiliary functions per primary function (RIFIT-like)
+    aux_ratio: float = 3.5
+    scf_iterations: int = 12
+    #: effective flops per three-center integral element (incl. derivs)
+    k_int: float = 220.0
+    #: global scale on the GEMM class (calibration knob)
+    gemm_scale: float = 1.0
+
+    def flops_by_class(self, nelectrons: int) -> dict[str, float]:
+        """FLOPs per operation class for a fragment of ``nelectrons``."""
+        ne = float(nelectrons)
+        nbf = self.bf_ratio * ne
+        naux = self.aux_ratio * nbf
+        o = ne / 2.0
+        v = max(nbf - o, 1.0)
+        gemm = (
+            2.0 * nbf**2 * naux**2
+            + 2.0 * nbf**3 * naux
+            + 8.0 * (o * v) ** 2 * naux
+            + self.scf_iterations * (2.0 * nbf**3 * naux + 4.0 * nbf**2 * naux)
+        ) * self.gemm_scale
+        integrals = self.k_int * nbf**2 * naux
+        eig = 10.0 * self.scf_iterations * nbf**3
+        return {"gemm": gemm, "integrals": integrals, "eig": eig}
+
+    def total_flops(self, nelectrons: int) -> float:
+        """All-class FLOPs of one fragment calculation."""
+        return sum(self.flops_by_class(nelectrons).values())
+
+    def gemm_flops(self, nelectrons: int) -> float:
+        """Counted FLOPs (the runtime counter only sees GEMMs)."""
+        return self.flops_by_class(nelectrons)["gemm"]
+
+    def time_on(self, nelectrons: int, machine: MachineSpec, ngcds: int = 1) -> float:
+        """Execution time (seconds) of one fragment on ``ngcds`` GCDs."""
+        fl = self.flops_by_class(nelectrons)
+        peak = machine.gcd_peak_tflops * 1.0e12 * ngcds
+        t = 0.0
+        for cls, f in fl.items():
+            t += f / (peak * machine.efficiency[cls])
+        return t
+
+    def memory_gb(self, nelectrons: int) -> float:
+        """Three-center tensor footprint (the paper's per-GPU limit)."""
+        nbf = self.bf_ratio * nelectrons
+        naux = self.aux_ratio * nbf
+        return nbf * nbf * naux * 8.0 / 1.0e9
+
+    def achieved_fraction_of_peak(self, nelectrons: int, machine: MachineSpec) -> float:
+        """Counted-FLOP rate / sustained peak for one fragment.
+
+        Mirrors the paper's metric: the runtime counter sees only GEMM
+        FLOPs, while wall time includes the inefficient classes, so the
+        reported fraction rises with fragment size.
+        """
+        t = self.time_on(nelectrons, machine)
+        rate = self.gemm_flops(nelectrons) / t
+        return rate / (machine.gcd_peak_tflops * 1.0e12)
+
+
+#: Cost model calibrated once against the paper's Table V anchor (63,854
+#: urea molecules on 9,400 Frontier nodes: 25.6 min/step, 1006.7 PFLOP/s,
+#: 59% of sustained peak). ``gemm_scale < 1`` reflects integral screening
+#: and permutational symmetry the closed forms above ignore; ``k_int``
+#: is the effective cost of three-center integrals *and* their
+#: derivatives, including on-the-fly recomputation. All scaling figures
+#: (Figs. 7, 8) and both Table V rows use this one calibration — nothing
+#: else is fitted per experiment.
+PAPER_CALIBRATED = FragmentCostModel(gemm_scale=0.777, k_int=4663.0)
+
+
+def calibrate_gemm(
+    model: FragmentCostModel, measured: list[tuple[int, float]]
+) -> FragmentCostModel:
+    """Scale the GEMM class so predictions match measured (counted) FLOPs.
+
+    Args:
+        measured: ``(nelectrons, counted_flops)`` pairs obtained from the
+            real engine's `repro.gemm.GLOBAL_COUNTER`.
+
+    Returns:
+        A new model with ``gemm_scale`` set by least squares in log space.
+    """
+    import numpy as np
+
+    if not measured:
+        raise ValueError("need at least one measurement")
+    ratios = [
+        flops / model.gemm_flops(ne) for ne, flops in measured if flops > 0
+    ]
+    scale = float(np.exp(np.mean(np.log(ratios)))) * model.gemm_scale
+    return FragmentCostModel(
+        bf_ratio=model.bf_ratio,
+        aux_ratio=model.aux_ratio,
+        scf_iterations=model.scf_iterations,
+        k_int=model.k_int,
+        gemm_scale=scale,
+    )

@@ -1,0 +1,36 @@
+"""Molecular fragmentation and the many-body expansion (MBE2/MBE3)."""
+
+from .cutoffs import (
+    ContributionCurve,
+    determine_cutoffs,
+    dimer_contributions,
+    trimer_contributions,
+)
+from .mbe import (
+    MBEPlan,
+    build_plan,
+    enumerate_dimers,
+    enumerate_trimers,
+    mbe_energy,
+    mbe_energy_gradient,
+)
+from .monomer import CapBond, FragmentedSystem, Monomer
+from .switching import mbe_energy_gradient_switched, smoothstep
+
+__all__ = [
+    "CapBond",
+    "ContributionCurve",
+    "FragmentedSystem",
+    "MBEPlan",
+    "Monomer",
+    "build_plan",
+    "determine_cutoffs",
+    "dimer_contributions",
+    "enumerate_dimers",
+    "enumerate_trimers",
+    "mbe_energy",
+    "mbe_energy_gradient",
+    "mbe_energy_gradient_switched",
+    "smoothstep",
+    "trimer_contributions",
+]

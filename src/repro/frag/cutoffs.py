@@ -1,0 +1,143 @@
+"""Distance-cutoff determination from per-polymer energy contributions.
+
+Reproduces the paper's Fig. 5 methodology: evaluate the MBE correction
+|dE| of every dimer/trimer involving a reference monomer as a function
+of centroid separation, and choose the cutoff where contributions drop
+below 0.1 kJ/mol for good.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import BOHR_PER_ANGSTROM, KJMOL_PER_HARTREE, POLYMER_SCREEN_KJMOL
+from ..chem.geometry import pairwise_distances
+from .monomer import FragmentedSystem
+
+
+@dataclass
+class ContributionCurve:
+    """Per-polymer |dE| versus centroid distance (one point per polymer)."""
+
+    distances_angstrom: np.ndarray
+    abs_contributions_kjmol: np.ndarray
+    kind: str  # "dimer" | "trimer"
+
+    def cutoff(self, threshold_kjmol: float = POLYMER_SCREEN_KJMOL) -> float:
+        """Smallest distance (Angstrom) beyond which every contribution is
+        below the threshold. Returns 0 if all are below threshold."""
+        mask = self.abs_contributions_kjmol >= threshold_kjmol
+        if not mask.any():
+            return 0.0
+        return float(self.distances_angstrom[mask].max())
+
+
+def _energy(calculator, mol) -> float:
+    if hasattr(calculator, "energy"):
+        return calculator.energy(mol)
+    return calculator.energy_gradient(mol)[0]
+
+
+def dimer_contributions(
+    system: FragmentedSystem,
+    calculator,
+    reference: int | None = None,
+    r_max_angstrom: float = 1.0e9,
+) -> ContributionCurve:
+    """|dE_IJ| for all dimers involving the reference monomer.
+
+    ``reference=None`` scans every pair (small systems only).
+    """
+    cents = system.centroids()
+    d = pairwise_distances(cents)
+    n = system.nmonomers
+    e_mono: dict[int, float] = {}
+
+    def mono_energy(i: int) -> float:
+        if i not in e_mono:
+            mol, _, _ = system.fragment_molecule((i,))
+            e_mono[i] = _energy(calculator, mol)
+        return e_mono[i]
+
+    pairs = []
+    r_max = r_max_angstrom * BOHR_PER_ANGSTROM
+    for i in range(n):
+        for j in range(i + 1, n):
+            if reference is not None and reference not in (i, j):
+                continue
+            if d[i, j] <= r_max:
+                pairs.append((i, j))
+    dist = []
+    contrib = []
+    for i, j in pairs:
+        mol, _, _ = system.fragment_molecule((i, j))
+        de = _energy(calculator, mol) - mono_energy(i) - mono_energy(j)
+        dist.append(d[i, j] / BOHR_PER_ANGSTROM)
+        contrib.append(abs(de) * KJMOL_PER_HARTREE)
+    return ContributionCurve(np.array(dist), np.array(contrib), "dimer")
+
+
+def trimer_contributions(
+    system: FragmentedSystem,
+    calculator,
+    reference: int | None = None,
+    r_max_angstrom: float = 12.0,
+) -> ContributionCurve:
+    """|dE_IJK| for trimers involving the reference monomer, with all
+    pairwise centroid distances within ``r_max_angstrom``."""
+    cents = system.centroids()
+    d = pairwise_distances(cents)
+    n = system.nmonomers
+    r_max = r_max_angstrom * BOHR_PER_ANGSTROM
+    cache: dict[tuple[int, ...], float] = {}
+
+    def frag_energy(key: tuple[int, ...]) -> float:
+        if key not in cache:
+            mol, _, _ = system.fragment_molecule(key)
+            cache[key] = _energy(calculator, mol)
+        return cache[key]
+
+    dist = []
+    contrib = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if d[i, j] > r_max:
+                continue
+            for k in range(j + 1, n):
+                if reference is not None and reference not in (i, j, k):
+                    continue
+                if d[i, k] > r_max or d[j, k] > r_max:
+                    continue
+                de = (
+                    frag_energy((i, j, k))
+                    - frag_energy((i, j))
+                    - frag_energy((i, k))
+                    - frag_energy((j, k))
+                    + frag_energy((i,))
+                    + frag_energy((j,))
+                    + frag_energy((k,))
+                )
+                dmax = max(d[i, j], d[i, k], d[j, k]) / BOHR_PER_ANGSTROM
+                dist.append(dmax)
+                contrib.append(abs(de) * KJMOL_PER_HARTREE)
+    return ContributionCurve(np.array(dist), np.array(contrib), "trimer")
+
+
+def determine_cutoffs(
+    system: FragmentedSystem,
+    calculator,
+    reference: int | None = None,
+    threshold_kjmol: float = POLYMER_SCREEN_KJMOL,
+    trimer_scan_angstrom: float = 12.0,
+) -> tuple[float, float, ContributionCurve, ContributionCurve]:
+    """Full Fig. 5 workflow: scan contributions, pick both cutoffs.
+
+    Returns ``(r_dimer_A, r_trimer_A, dimer_curve, trimer_curve)``.
+    """
+    dc = dimer_contributions(system, calculator, reference=reference)
+    tc = trimer_contributions(
+        system, calculator, reference=reference, r_max_angstrom=trimer_scan_angstrom
+    )
+    return dc.cutoff(threshold_kjmol), tc.cutoff(threshold_kjmol), dc, tc

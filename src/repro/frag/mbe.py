@@ -1,0 +1,183 @@
+"""Many-body expansion: polymer enumeration, coefficients, assembly.
+
+The truncated MBE3 energy (paper Eq. 2)
+
+    E = sum_I E_I + sum_{I<J in D} dE_IJ + sum_{I<J<K in T} dE_IJK
+
+is rewritten as a single linear combination over unique fragment
+calculations with integer coefficients obtained by inclusion-exclusion.
+This "coefficient map" form is what the coordinator actually evaluates:
+it makes the bookkeeping exact for any cutoff choice, and it exposes the
+property the asynchronous scheme exploits — every *trimer* enters with
+coefficient +1, so trimer gradients can be accumulated directly into the
+system gradient (paper Sec. V-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from .monomer import FragmentedSystem
+
+FragKey = tuple[int, ...]
+
+
+def _centroid_pairs(cents: np.ndarray, r_cut: float) -> list[tuple[int, int]]:
+    """All index pairs with centroid distance <= r_cut (KD-tree based, so
+    large systems — tens of thousands of monomers — stay tractable)."""
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(cents)
+    return sorted(tuple(sorted(p)) for p in tree.query_pairs(r_cut))
+
+
+def enumerate_dimers(
+    system: FragmentedSystem,
+    r_cut_bohr: float,
+    coords: np.ndarray | None = None,
+) -> list[FragKey]:
+    """Dimers whose monomer centroids lie within ``r_cut_bohr``."""
+    if r_cut_bohr <= 0:
+        return []
+    cents = system.centroids(coords)
+    return _centroid_pairs(cents, r_cut_bohr)
+
+
+def enumerate_trimers(
+    system: FragmentedSystem,
+    r_cut_bohr: float,
+    coords: np.ndarray | None = None,
+) -> list[FragKey]:
+    """Trimers with *all* pairwise centroid distances within the cutoff."""
+    if r_cut_bohr <= 0:
+        return []
+    cents = system.centroids(coords)
+    pairs = _centroid_pairs(cents, r_cut_bohr)
+    n = system.nmonomers
+    neigh: list[list[int]] = [[] for _ in range(n)]
+    for i, j in pairs:
+        neigh[i].append(j)  # j > i by construction
+    out = []
+    r2 = r_cut_bohr * r_cut_bohr
+    for i in range(n):
+        cand = neigh[i]
+        for ji, j in enumerate(cand):
+            cj = cents[j]
+            for k in cand[ji + 1 :]:
+                dv = cj - cents[k]
+                if float(dv @ dv) <= r2:
+                    out.append((i, j, k))
+    return out
+
+
+@dataclass
+class MBEPlan:
+    """The set of fragment calculations and their MBE coefficients."""
+
+    #: coefficient of every unique fragment calculation
+    coefficients: dict[FragKey, float] = field(default_factory=dict)
+    dimers: list[FragKey] = field(default_factory=list)
+    trimers: list[FragKey] = field(default_factory=list)
+
+    @property
+    def fragments(self) -> list[FragKey]:
+        """Unique fragments with nonzero coefficient, monomers first."""
+        return sorted(
+            (k for k, c in self.coefficients.items() if abs(c) > 1e-12),
+            key=lambda k: (len(k), k),
+        )
+
+    @property
+    def npolymers(self) -> int:
+        """Number of fragment calculations with nonzero coefficient."""
+        return len(self.fragments)
+
+
+def build_plan(
+    system: FragmentedSystem,
+    r_dimer_bohr: float,
+    r_trimer_bohr: float | None = None,
+    order: int = 3,
+    coords: np.ndarray | None = None,
+) -> MBEPlan:
+    """Enumerate polymers and compute inclusion-exclusion coefficients.
+
+    Args:
+        system: fragmented system.
+        r_dimer_bohr: dimer centroid-distance cutoff.
+        r_trimer_bohr: trimer cutoff (required for ``order >= 3``).
+        order: 1 (monomers), 2 (MBE2) or 3 (MBE3).
+        coords: coordinate override for dynamics.
+    """
+    if order not in (1, 2, 3):
+        raise ValueError("MBE order must be 1, 2 or 3")
+    plan = MBEPlan()
+    coef = plan.coefficients
+
+    def add(key: FragKey, c: float) -> None:
+        coef[key] = coef.get(key, 0.0) + c
+
+    for m in range(system.nmonomers):
+        add((m,), 1.0)
+    if order >= 2:
+        plan.dimers = enumerate_dimers(system, r_dimer_bohr, coords)
+        for i, j in plan.dimers:
+            add((i, j), 1.0)
+            add((i,), -1.0)
+            add((j,), -1.0)
+    if order >= 3:
+        if r_trimer_bohr is None:
+            raise ValueError("MBE3 requires a trimer cutoff")
+        plan.trimers = enumerate_trimers(system, r_trimer_bohr, coords)
+        for i, j, k in plan.trimers:
+            add((i, j, k), 1.0)
+            for pair in combinations((i, j, k), 2):
+                add(pair, -1.0)
+            for mono in (i, j, k):
+                add((mono,), 1.0)
+    return plan
+
+
+def mbe_energy_gradient(
+    system: FragmentedSystem,
+    plan: MBEPlan,
+    calculator,
+    coords: np.ndarray | None = None,
+) -> tuple[float, np.ndarray]:
+    """Evaluate the MBE energy and gradient synchronously.
+
+    Runs every fragment through ``calculator.energy_gradient`` and
+    assembles with the plan coefficients; gradients are chained back to
+    parent atoms through the H-cap rule.
+    """
+    energy = 0.0
+    grad = np.zeros((system.parent.natoms, 3))
+    for key in plan.fragments:
+        c = plan.coefficients[key]
+        mol, atoms, caps = system.fragment_molecule(key, coords)
+        e_f, g_f = calculator.energy_gradient(mol)
+        energy += c * e_f
+        system.map_gradient(g_f, atoms, caps, grad, scale=c)
+    return energy, grad
+
+
+def mbe_energy(
+    system: FragmentedSystem,
+    plan: MBEPlan,
+    calculator,
+    coords: np.ndarray | None = None,
+) -> float:
+    """Energy-only MBE assembly (uses ``calculator.energy`` if present)."""
+    energy = 0.0
+    for key in plan.fragments:
+        c = plan.coefficients[key]
+        mol, _, _ = system.fragment_molecule(key, coords)
+        if hasattr(calculator, "energy"):
+            e_f = calculator.energy(mol)
+        else:
+            e_f, _ = calculator.energy_gradient(mol)
+        energy += c * e_f
+    return energy

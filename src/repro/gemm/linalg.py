@@ -1,0 +1,53 @@
+"""Shared dense linear-algebra helpers built on the tuned GEMM."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from .autotune import gemm
+
+
+def sym_inv_sqrt(M: np.ndarray, threshold: float = 1.0e-10) -> np.ndarray:
+    """Symmetric inverse square root ``M^{-1/2}`` with eigenvalue screening.
+
+    Eigenvalues below ``threshold * max_eig`` are projected out (canonical
+    orthogonalization), which keeps near-singular RI metrics and overlap
+    matrices numerically safe.
+    """
+    w, V = np.linalg.eigh(M)
+    cut = threshold * w[-1]
+    keep = w > cut
+    inv_sqrt = np.zeros_like(w)
+    inv_sqrt[keep] = 1.0 / np.sqrt(w[keep])
+    return (V * inv_sqrt[None, :]) @ V.T
+
+
+def sym_inv(M: np.ndarray, threshold: float = 1.0e-12) -> np.ndarray:
+    """Symmetric (pseudo-)inverse with eigenvalue screening."""
+    w, V = np.linalg.eigh(M)
+    cut = threshold * abs(w[-1])
+    keep = np.abs(w) > cut
+    inv = np.zeros_like(w)
+    inv[keep] = 1.0 / w[keep]
+    return (V * inv[None, :]) @ V.T
+
+
+def eigh_gen(F: np.ndarray, S: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Generalized symmetric eigenproblem ``F C = S C eps``.
+
+    Solved by canonical orthogonalization so near-linear-dependent basis
+    sets (diffuse auxiliary functions, stretched geometries) stay stable.
+    """
+    X = sym_inv_sqrt(S)
+    Ft = gemm(gemm(X, F), X)
+    Ft = 0.5 * (Ft + Ft.T)
+    eps, Ct = np.linalg.eigh(Ft)
+    C = gemm(X, Ct)
+    return eps, C
+
+
+def cholesky_solve_posdef(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve ``A X = B`` for symmetric positive-definite A."""
+    c, low = sla.cho_factor(A)
+    return sla.cho_solve((c, low), B)

@@ -1,0 +1,52 @@
+"""Molecular integrals over contracted Cartesian Gaussians.
+
+From-scratch McMurchie-Davidson implementation: overlap, kinetic,
+nuclear attraction, two-/three-/four-center electron repulsion
+integrals, and analytic first derivatives of all of them.
+"""
+
+from .boys import boys, boys_array
+from .eri import (
+    contract_eri2c_deriv,
+    contract_eri3c_deriv,
+    contract_eri4c_deriv_hf,
+    eri2c,
+    eri3c,
+    eri4c,
+)
+from .hermite import cartesian_components, e_table, ncart, r_table
+from .onee import (
+    contract_hcore_deriv,
+    contract_kinetic_deriv,
+    contract_nuclear_deriv,
+    contract_overlap_deriv,
+    hcore,
+    kinetic,
+    nuclear,
+    overlap,
+    overlap_deriv,
+)
+
+__all__ = [
+    "boys",
+    "boys_array",
+    "cartesian_components",
+    "contract_eri2c_deriv",
+    "contract_eri3c_deriv",
+    "contract_eri4c_deriv_hf",
+    "contract_hcore_deriv",
+    "contract_kinetic_deriv",
+    "contract_nuclear_deriv",
+    "contract_overlap_deriv",
+    "e_table",
+    "eri2c",
+    "eri3c",
+    "eri4c",
+    "hcore",
+    "kinetic",
+    "ncart",
+    "nuclear",
+    "overlap",
+    "overlap_deriv",
+    "r_table",
+]

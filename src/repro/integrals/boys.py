@@ -1,0 +1,78 @@
+"""Boys function evaluation.
+
+The Boys function
+
+    F_m(T) = \\int_0^1 t^{2m} exp(-T t^2) dt
+
+is the radial kernel of all Coulomb-type Gaussian integrals. We evaluate
+``F_0 .. F_mmax`` with the standard three-regime scheme:
+
+* ``T`` tiny: Taylor series about 0.
+* moderate ``T``: compute the highest order by a converged downward power
+  series and fill lower orders by downward recursion (numerically stable).
+* large ``T``: asymptotic closed form for ``F_0`` plus *upward* recursion,
+  which is stable in this regime because the subtraction term is tiny.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammainc, gamma
+
+_SQRT_PI_OVER_2 = 0.5 * np.sqrt(np.pi)
+
+
+def boys(mmax: int, T: float) -> np.ndarray:
+    """Return ``[F_0(T), ..., F_mmax(T)]`` for a scalar ``T >= 0``.
+
+    Uses the regularized lower incomplete gamma function for the top
+    order, which is accurate over the full range, then downward
+    recursion::
+
+        F_{m-1}(T) = (2 T F_m(T) + exp(-T)) / (2 m - 1)
+    """
+    T = float(T)
+    out = np.empty(mmax + 1)
+    if T < 1.0e-14:
+        # Series limit: F_m(0) = 1/(2m+1).
+        for m in range(mmax + 1):
+            out[m] = 1.0 / (2 * m + 1)
+        return out
+    if T > 35.0:
+        # Asymptotic: F_m(T) ~ (2m-1)!! / (2T)^m * sqrt(pi/T)/2
+        out[0] = _SQRT_PI_OVER_2 / np.sqrt(T)
+        expT = np.exp(-T) if T < 700 else 0.0
+        for m in range(1, mmax + 1):
+            out[m] = ((2 * m - 1) * out[m - 1] - expT) / (2.0 * T)
+        return out
+    # General: F_m(T) = gamma(m+1/2) * P(m+1/2, T) / (2 T^{m+1/2})
+    m = mmax
+    a = m + 0.5
+    out[m] = gamma(a) * gammainc(a, T) / (2.0 * T**a)
+    expT = np.exp(-T)
+    for k in range(m, 0, -1):
+        out[k - 1] = (2.0 * T * out[k] + expT) / (2 * k - 1)
+    return out
+
+
+def boys_array(mmax: int, T: np.ndarray) -> np.ndarray:
+    """Vectorized Boys function: shape ``(len(T), mmax+1)``.
+
+    Evaluates the top order with the incomplete gamma function (branching
+    on ``T`` near zero) and downward-recurs the rest — fully vectorized
+    over the ``T`` axis.
+    """
+    T = np.atleast_1d(np.asarray(T, dtype=float))
+    n = T.shape[0]
+    out = np.empty((n, mmax + 1))
+    a = mmax + 0.5
+    small = T < 1.0e-14
+    Tsafe = np.where(small, 1.0, T)
+    top = gamma(a) * gammainc(a, Tsafe) / (2.0 * Tsafe**a)
+    top = np.where(small, 1.0 / (2 * mmax + 1), top)
+    out[:, mmax] = top
+    expT = np.exp(-np.minimum(T, 700.0))
+    for k in range(mmax, 0, -1):
+        val = (2.0 * T * out[:, k] + expT) / (2 * k - 1)
+        out[:, k - 1] = np.where(small, 1.0 / (2 * (k - 1) + 1), val)
+    return out

@@ -1,0 +1,567 @@
+"""Electron-repulsion integrals: two-, three- and four-center classes.
+
+All classes share one general bra-pair x ket-pair Hermite contraction
+(`_eri_general`). Auxiliary (RI) shells enter as "pairs" with a zero-
+exponent dummy partner, under which the machinery reduces to the single-
+Gaussian Hermite expansion. Derivative drivers contract coefficient
+tensors against integral first derivatives on the fly, exactly as the
+paper's gradient is organized (coefficients first, derivatives never
+stored).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..basis.basisset import BasisSet
+from .engine import (
+    AuxGroup,
+    PairData,
+    aux_group_data,
+    comp_arrays,
+    hermite_box,
+    pair_data,
+    r_tables_batch,
+    single_data,
+    w_deriv,
+    w_tensor,
+)
+
+_TWO_PI_52 = 2.0 * np.pi**2.5
+
+
+def _combined_R(bra: PairData, ket: PairData, tbox_b, tbox_k) -> np.ndarray:
+    """R tensors over the combined Hermite box for every (n, m) primitive
+    pair combination. Shape ``(n, m, TX+1, TY+1, TZ+1)``."""
+    n, m = bra.nprim, ket.nprim
+    p = bra.p[:, None].repeat(m, axis=1).ravel()
+    q = np.tile(ket.p, n)
+    alpha = p * q / (p + q)
+    PQ = (bra.P[:, None, :] - ket.P[None, :, :]).reshape(n * m, 3)
+    TX = tbox_b[0] + tbox_k[0]
+    TY = tbox_b[1] + tbox_k[1]
+    TZ = tbox_b[2] + tbox_k[2]
+    R = r_tables_batch(TX, TY, TZ, alpha, PQ)
+    return R.reshape(n, m, TX + 1, TY + 1, TZ + 1)
+
+
+def _kfac(bra: PairData, ket: PairData) -> np.ndarray:
+    """Prefactor ``2 pi^{5/2} / (p q sqrt(p+q))`` with contraction coefs,
+    shape ``(n, m)``."""
+    p = bra.p[:, None]
+    q = ket.p[None, :]
+    return (
+        _TWO_PI_52
+        / (p * q * np.sqrt(p + q))
+        * bra.cc[:, None]
+        * ket.cc[None, :]
+    )
+
+
+def _contract(bra_W, ket_W, R, K, tb_idx, tk_idx) -> np.ndarray:
+    """Assemble the ERI block.
+
+    Args:
+        bra_W: ``(n, nA*nB, Tb)`` flattened bra expansion.
+        ket_W: ``(m, nC*nD, Tk)`` flattened ket expansion with the
+            ``(-1)^{tau+nu+phi}`` phase folded in.
+        R: combined Hermite tensor ``(n, m, TX+1, TY+1, TZ+1)``.
+        K: prefactors ``(n, m)``.
+        tb_idx, tk_idx: Hermite boxes, shapes ``(Tb, 3)``, ``(Tk, 3)``.
+
+    Returns:
+        ``(nA*nB, nC*nD)`` block.
+    """
+    tsum = tb_idx[:, None, :] + tk_idx[None, :, :]  # (Tb, Tk, 3)
+    M = R[:, :, tsum[..., 0], tsum[..., 1], tsum[..., 2]]  # (n, m, Tb, Tk)
+    return np.einsum("nxt,nm,nmts,mys->xy", bra_W, K, M, ket_W, optimize=True)
+
+
+def _phase(tk_idx: np.ndarray) -> np.ndarray:
+    return (-1.0) ** tk_idx.sum(axis=1)
+
+
+def _eri_general(bra: PairData, ket: PairData, ca, cb, cc, cd) -> np.ndarray:
+    """General (ab|cd) block over Cartesian components, un-normalized."""
+    lb = (int(ca[:, 0].max() + cb[:, 0].max()), int(ca[:, 1].max() + cb[:, 1].max()),
+          int(ca[:, 2].max() + cb[:, 2].max()))
+    lk = (int(cc[:, 0].max() + cd[:, 0].max()), int(cc[:, 1].max() + cd[:, 1].max()),
+          int(cc[:, 2].max() + cd[:, 2].max()))
+    tb_idx = hermite_box(lb)
+    tk_idx = hermite_box(lk)
+    Wb = w_tensor(bra, ca, cb, lb).reshape(bra.nprim, len(ca) * len(cb), -1)
+    Wk = w_tensor(ket, cc, cd, lk).reshape(ket.nprim, len(cc) * len(cd), -1)
+    Wk = Wk * _phase(tk_idx)[None, None, :]
+    R = _combined_R(bra, ket, lb, lk)
+    K = _kfac(bra, ket)
+    blk = _contract(Wb, Wk, R, K, tb_idx, tk_idx)
+    return blk.reshape(len(ca), len(cb), len(cc), len(cd))
+
+
+_S_COMP = comp_arrays(0)
+
+
+def eri2c(aux: BasisSet) -> np.ndarray:
+    """Two-center Coulomb metric ``(P|Q)``, shape ``(naux, naux)``.
+
+    Processed as angular-momentum group pairs: one Hermite batch per
+    (l, l') combination covers the whole metric.
+    """
+    try:
+        groups = aux_group_data(aux)
+    except ValueError:
+        return _eri2c_pershell(aux)
+    n = aux.nbf
+    J = np.zeros((n, n))
+    for gb in groups:
+        cb = comp_arrays(gb.l)
+        X = len(cb)
+        nb_ = gb.pd.nprim
+        lb = (gb.l,) * 3
+        tb_idx = hermite_box(lb)
+        Wb = w_tensor(gb.pd, cb, _S_COMP, lb)[:, :, 0].reshape(nb_, X, -1)
+        for gk in groups:
+            if gk.l < gb.l:
+                continue
+            ck = comp_arrays(gk.l)
+            C = len(ck)
+            m = gk.pd.nprim
+            lk = (gk.l,) * 3
+            tk_idx = hermite_box(lk)
+            Wk = w_tensor(gk.pd, ck, _S_COMP, lk)[:, :, 0].reshape(m, C, -1)
+            Wk = Wk * _phase(tk_idx)[None, None, :]
+            R = _combined_R(gb.pd, gk.pd, lb, lk)
+            K = _kfac(gb.pd, gk.pd)
+            tsum = tb_idx[:, None, :] + tk_idx[None, :, :]
+            M = R[:, :, tsum[..., 0], tsum[..., 1], tsum[..., 2]]
+            M *= K[:, :, None, None]
+            blk = np.einsum("nxt,nmts,mys->nxmy", Wb, M, Wk, optimize=True)
+            blk = blk * gb.comp_norms[None, :, None, None]
+            blk = blk * gk.comp_norms[None, None, None, :]
+            fi_b = (gb.offsets[:, None] + np.arange(X)[None, :]).ravel()
+            fi_k = (gk.offsets[:, None] + np.arange(C)[None, :]).ravel()
+            J[np.ix_(fi_b, fi_k)] = blk.reshape(nb_ * X, m * C)
+            J[np.ix_(fi_k, fi_b)] = blk.reshape(nb_ * X, m * C).T
+    return J
+
+
+def _eri2c_pershell(aux: BasisSet) -> np.ndarray:
+    """Per-shell-pair fallback for contracted auxiliary shells."""
+    n = aux.nbf
+    J = np.zeros((n, n))
+    singles = [single_data(sh) for sh in aux.shells]
+    comps = [comp_arrays(sh.l) for sh in aux.shells]
+    for i, shp in enumerate(aux.shells):
+        op = aux.offsets[i]
+        for j in range(i, aux.nshells):
+            shq = aux.shells[j]
+            oq = aux.offsets[j]
+            blk = _eri_general(singles[i], singles[j], comps[i], _S_COMP, comps[j], _S_COMP)
+            blk = blk[:, 0, :, 0] * np.outer(shp.comp_norms, shq.comp_norms)
+            J[op : op + shp.nfunc, oq : oq + shq.nfunc] = blk
+            J[oq : oq + shq.nfunc, op : op + shp.nfunc] = blk.T
+    return J
+
+
+def _group_M(
+    bra: PairData, grp: AuxGroup, tbox_b: tuple[int, int, int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hermite kernel pieces for one (bra pair, aux group) combination.
+
+    Returns ``(M2, Wk)`` where ``M2`` is the gathered, prefactor-folded
+    Hermite Coulomb tensor reshaped to ``(n*Tb, m*Tk)`` and ``Wk`` the
+    ket expansion ``(m, C, Tk)`` with the Hermite phase folded in. These
+    depend only on geometry, so derivative drivers reuse them across all
+    six (side, axis) combinations.
+    """
+    lk = (grp.l, grp.l, grp.l)
+    tk_idx = hermite_box(lk)
+    tb_idx = hermite_box(tbox_b)
+    cg = comp_arrays(grp.l)
+    Wk = w_tensor(grp.pd, cg, _S_COMP, lk)[:, :, 0, :, :, :]
+    m = grp.pd.nprim
+    C = len(cg)
+    Wk = Wk.reshape(m, C, -1) * _phase(tk_idx)[None, None, :]
+    R = _combined_R(bra, grp.pd, tbox_b, lk)
+    K = _kfac(bra, grp.pd)
+    tsum = tb_idx[:, None, :] + tk_idx[None, :, :]
+    M = R[:, :, tsum[..., 0], tsum[..., 1], tsum[..., 2]]  # (n, m, Tb, Tk)
+    M *= K[:, :, None, None]
+    n = M.shape[0]
+    Tb = tb_idx.shape[0]
+    Tk = tk_idx.shape[0]
+    M2 = np.ascontiguousarray(M.transpose(0, 2, 1, 3)).reshape(n * Tb, m * Tk)
+    return M2, Wk
+
+
+def _group_apply(M2: np.ndarray, Wk: np.ndarray, Wb: np.ndarray) -> np.ndarray:
+    """Contract a bra expansion ``Wb (n, X, Tb)`` with cached kernel
+    pieces, producing per-aux-shell blocks ``(m, X, C)``."""
+    n, X, Tb = Wb.shape
+    m, C, Tk = Wk.shape
+    t1 = np.ascontiguousarray(Wb.transpose(1, 0, 2)).reshape(X, n * Tb) @ M2
+    t1 = np.ascontiguousarray(t1.reshape(X, m, Tk).transpose(1, 0, 2))
+    return np.matmul(t1, Wk.transpose(0, 2, 1))
+
+
+def _group_kernel(
+    bra: PairData,
+    grp: AuxGroup,
+    Wb: np.ndarray,
+    tbox_b: tuple[int, int, int],
+) -> np.ndarray:
+    """One-shot grouped 3c contraction (build kernel, apply bra)."""
+    M2, Wk = _group_M(bra, grp, tbox_b)
+    return _group_apply(M2, Wk, Wb)
+
+
+def eri3c(basis: BasisSet, aux: BasisSet) -> np.ndarray:
+    """Three-center integrals ``(mu nu | P)``, shape ``(nbf, nbf, naux)``.
+
+    Auxiliary shells are processed in per-angular-momentum batches: the
+    whole fitting basis acts as a handful of 'super-shells', so Python
+    overhead is amortized over the full auxiliary dimension.
+    """
+    nb, na = basis.nbf, aux.nbf
+    out = np.zeros((nb, nb, na))
+    groups = aux_group_data(aux)
+    for ish, sha in enumerate(basis.shells):
+        oa = basis.offsets[ish]
+        ca = comp_arrays(sha.l)
+        for jsh in range(ish, basis.nshells):
+            shb = basis.shells[jsh]
+            ob = basis.offsets[jsh]
+            cb = comp_arrays(shb.l)
+            bra = pair_data(sha, shb)
+            L = sha.l + shb.l
+            tbox_b = (L, L, L)
+            Wb = w_tensor(bra, ca, cb, tbox_b).reshape(bra.nprim, -1, (L + 1) ** 3)
+            norms_ab = np.outer(sha.comp_norms, shb.comp_norms)
+            for grp in groups:
+                blk = _group_kernel(bra, grp, Wb, tbox_b)  # (m, X, C)
+                C = blk.shape[2]
+                blk = blk.reshape(-1, sha.nfunc, shb.nfunc, C)
+                blk = blk * norms_ab[None, :, :, None] * grp.comp_norms[None, None, None, :]
+                func_idx = grp.offsets[:, None] + np.arange(C)[None, :]
+                out[oa : oa + sha.nfunc, ob : ob + shb.nfunc, func_idx] = blk.transpose(
+                    1, 2, 0, 3
+                )
+                if ish != jsh:
+                    out[ob : ob + shb.nfunc, oa : oa + sha.nfunc, func_idx] = (
+                        blk.transpose(2, 1, 0, 3)
+                    )
+    return out
+
+
+def eri4c(basis: BasisSet) -> np.ndarray:
+    """Four-center ERIs ``(mu nu | la si)``, shape ``(nbf,)*4``.
+
+    Exploits bra/ket pair symmetry and bra<->ket symmetry (8-fold).
+    Intended for validation and for the conventional-HF baseline on
+    small systems only — the RI path never calls this.
+    """
+    n = basis.nbf
+    out = np.zeros((n, n, n, n))
+    shells = basis.shells
+    offs = basis.offsets
+    comps = [comp_arrays(sh.l) for sh in shells]
+    npairs: list[tuple[int, int]] = [
+        (i, j) for i in range(len(shells)) for j in range(i, len(shells))
+    ]
+    pds = {ij: pair_data(shells[ij[0]], shells[ij[1]]) for ij in npairs}
+    for pi, (i, j) in enumerate(npairs):
+        for i2, j2 in npairs[pi:]:
+            blk = _eri_general(
+                pds[(i, j)], pds[(i2, j2)], comps[i], comps[j], comps[i2], comps[j2]
+            )
+            blk = (
+                blk
+                * shells[i].comp_norms[:, None, None, None]
+                * shells[j].comp_norms[None, :, None, None]
+                * shells[i2].comp_norms[None, None, :, None]
+                * shells[j2].comp_norms[None, None, None, :]
+            )
+            sl = (
+                slice(offs[i], offs[i] + shells[i].nfunc),
+                slice(offs[j], offs[j] + shells[j].nfunc),
+                slice(offs[i2], offs[i2] + shells[i2].nfunc),
+                slice(offs[j2], offs[j2] + shells[j2].nfunc),
+            )
+            out[sl[0], sl[1], sl[2], sl[3]] = blk
+            out[sl[1], sl[0], sl[2], sl[3]] = blk.transpose(1, 0, 2, 3)
+            out[sl[0], sl[1], sl[3], sl[2]] = blk.transpose(0, 1, 3, 2)
+            out[sl[1], sl[0], sl[3], sl[2]] = blk.transpose(1, 0, 3, 2)
+            out[sl[2], sl[3], sl[0], sl[1]] = blk.transpose(2, 3, 0, 1)
+            out[sl[3], sl[2], sl[0], sl[1]] = blk.transpose(3, 2, 0, 1)
+            out[sl[2], sl[3], sl[1], sl[0]] = blk.transpose(2, 3, 1, 0)
+            out[sl[3], sl[2], sl[1], sl[0]] = blk.transpose(3, 2, 1, 0)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Contracted derivative drivers
+# --------------------------------------------------------------------------
+
+def _deriv_blocks_pairwise(bra, ket, ca, cb, cc, cd, sides):
+    """First-derivative blocks of (ab|cd) for the requested sides.
+
+    ``sides`` is a sequence drawn from {"braA", "braB", "ketC", "ketD"}.
+    The bra (ket) Hermite box is enlarged by one only when a bra (ket)
+    side is differentiated, so the pair data only needs headroom on the
+    differentiated sides. Returns dict side -> array (3, nA, nB, nC, nD).
+    """
+    bx = 1 if any(s.startswith("bra") for s in sides) else 0
+    kx = 1 if any(s.startswith("ket") for s in sides) else 0
+    lb = (int(ca[:, 0].max() + cb[:, 0].max()) + bx,
+          int(ca[:, 1].max() + cb[:, 1].max()) + bx,
+          int(ca[:, 2].max() + cb[:, 2].max()) + bx)
+    lk = (int(cc[:, 0].max() + cd[:, 0].max()) + kx,
+          int(cc[:, 1].max() + cd[:, 1].max()) + kx,
+          int(cc[:, 2].max() + cd[:, 2].max()) + kx)
+    tb_idx = hermite_box(lb)
+    tk_idx = hermite_box(lk)
+    R = _combined_R(bra, ket, lb, lk)
+    K = _kfac(bra, ket)
+    phase = _phase(tk_idx)
+    Wb0 = w_tensor(bra, ca, cb, lb).reshape(bra.nprim, len(ca) * len(cb), -1)
+    Wk0 = w_tensor(ket, cc, cd, lk).reshape(ket.nprim, len(cc) * len(cd), -1)
+    Wk0p = Wk0 * phase[None, None, :]
+    out = {}
+    shape = (3, len(ca), len(cb), len(cc), len(cd))
+    for side in sides:
+        blocks = np.empty(shape)
+        for axis in range(3):
+            if side == "braA":
+                dW = w_deriv(bra, ca, cb, lb, "bra", axis).reshape(bra.nprim, -1, Wb0.shape[2])
+                blk = _contract(dW, Wk0p, R, K, tb_idx, tk_idx)
+            elif side == "braB":
+                dW = w_deriv(bra, ca, cb, lb, "ket", axis).reshape(bra.nprim, -1, Wb0.shape[2])
+                blk = _contract(dW, Wk0p, R, K, tb_idx, tk_idx)
+            elif side == "ketC":
+                dW = w_deriv(ket, cc, cd, lk, "bra", axis).reshape(ket.nprim, -1, Wk0.shape[2])
+                blk = _contract(Wb0, dW * phase[None, None, :], R, K, tb_idx, tk_idx)
+            elif side == "ketD":
+                dW = w_deriv(ket, cc, cd, lk, "ket", axis).reshape(ket.nprim, -1, Wk0.shape[2])
+                blk = _contract(Wb0, dW * phase[None, None, :], R, K, tb_idx, tk_idx)
+            else:
+                raise ValueError(side)
+            blocks[axis] = blk.reshape(shape[1:])
+        out[side] = blocks
+    return out
+
+
+def contract_eri2c_deriv(aux: BasisSet, zeta: np.ndarray, natoms: int) -> np.ndarray:
+    """``g = sum_{PQ} zeta_{PQ} d(P|Q)/dR``, shape ``(natoms, 3)``.
+
+    Uses ``d/dQ = -d/dP``; both sides are processed as angular-momentum
+    groups, so the work is a few batched contractions.
+    """
+    g = np.zeros((natoms, 3))
+    groups_d = aux_group_data(aux, di=1)  # bra side (differentiated)
+    groups = aux_group_data(aux)
+    for gb in groups_d:
+        cb = comp_arrays(gb.l)
+        nb_comp = len(cb)
+        n = gb.pd.nprim
+        for gk in groups:
+            ck = comp_arrays(gk.l)
+            m = gk.pd.nprim
+            C = len(ck)
+            lb = (gb.l + 1,) * 3
+            lk = (gk.l,) * 3
+            tb_idx = hermite_box(lb)
+            tk_idx = hermite_box(lk)
+            Wk = w_tensor(gk.pd, ck, _S_COMP, lk)[:, :, 0].reshape(m, C, -1)
+            Wk = Wk * _phase(tk_idx)[None, None, :]
+            R = _combined_R(gb.pd, gk.pd, lb, lk)
+            K = _kfac(gb.pd, gk.pd)
+            tsum = tb_idx[:, None, :] + tk_idx[None, :, :]
+            M = R[:, :, tsum[..., 0], tsum[..., 1], tsum[..., 2]]
+            M *= K[:, :, None, None]
+            # gathered coefficients: zg[n, m, x, y]
+            fi_b = gb.offsets[:, None] + np.arange(nb_comp)[None, :]
+            fi_k = gk.offsets[:, None] + np.arange(C)[None, :]
+            zg = zeta[fi_b[:, None, :, None], fi_k[None, :, None, :]]
+            zg = zg * gb.comp_norms[None, None, :, None]
+            zg = zg * gk.comp_norms[None, None, None, :]
+            # mask same-atom (derivative vanishes by invariance)
+            same = gb.atoms[:, None] == gk.atoms[None, :]
+            zg[same] = 0.0
+            # Q[n, m, x, s] = sum_y zg[n,m,x,y] Wk[m,y,s]
+            Q = np.einsum("nmxy,mys->nmxs", zg, Wk, optimize=True)
+            for axis in range(3):
+                dWb = w_deriv(gb.pd, cb, _S_COMP, lb, "bra", axis)[:, :, 0]
+                dWb = dWb.reshape(n, nb_comp, -1)
+                # vals[n, m] = sum_{x,t,s} dWb[n,x,t] M[n,m,t,s] Q[n,m,x,s]
+                vals = np.einsum("nxt,nmts,nmxs->nm", dWb, M, Q, optimize=True)
+                np.add.at(g[:, axis], gb.atoms, vals.sum(axis=1))
+                np.subtract.at(g[:, axis], gk.atoms, vals.sum(axis=0))
+    return g
+
+
+def contract_eri3c_deriv(
+    basis: BasisSet, aux: BasisSet, Z: np.ndarray, natoms: int
+) -> np.ndarray:
+    """``g = sum_{mu nu P} Z_{mu nu P} d(mu nu|P)/dR``, shape ``(natoms, 3)``.
+
+    ``Z`` has shape ``(nbf, nbf, naux)`` and need not be symmetric in
+    (mu, nu). Auxiliary-center derivatives follow from translational
+    invariance (``dP = -(dA + dB)``); auxiliary shells are processed in
+    angular-momentum groups.
+    """
+    g = np.zeros((natoms, 3))
+    groups = aux_group_data(aux)
+    group_idx = [
+        grp.offsets[:, None] + np.arange((grp.l + 1) * (grp.l + 2) // 2)[None, :]
+        for grp in groups
+    ]
+    # (mu nu|P) is symmetric in (mu, nu): only the symmetric part of Z
+    # contributes, and shell pairs can be restricted to ish <= jsh.
+    Z = 0.5 * (Z + Z.transpose(1, 0, 2))
+    for ish, sha in enumerate(basis.shells):
+        oa = basis.offsets[ish]
+        ca = comp_arrays(sha.l)
+        for jsh in range(ish, basis.nshells):
+            shb = basis.shells[jsh]
+            pair_fac = 1.0 if ish == jsh else 2.0
+            ob = basis.offsets[jsh]
+            cb = comp_arrays(shb.l)
+            bra = pair_data(sha, shb, 1, 1)
+            L = sha.l + shb.l + 1
+            tbox_b = (L, L, L)
+            tb_idx = hermite_box(tbox_b)
+            norms_ab = np.outer(sha.comp_norms, shb.comp_norms).ravel()
+            dWb = {}
+            for axis in range(3):
+                dWb[("bra", axis)] = w_deriv(bra, ca, cb, tbox_b, "bra", axis).reshape(
+                    bra.nprim, -1, tb_idx.shape[0]
+                )
+                dWb[("ket", axis)] = w_deriv(bra, ca, cb, tbox_b, "ket", axis).reshape(
+                    bra.nprim, -1, tb_idx.shape[0]
+                )
+            for grp, fi in zip(groups, group_idx):
+                C = fi.shape[1]
+                m = grp.pd.nprim
+                # coefficients for this (bra pair, group): (m, X, C)
+                zg = Z[oa : oa + sha.nfunc, ob : ob + shb.nfunc, fi]
+                zg = zg.reshape(-1, m, C).transpose(1, 0, 2) * norms_ab[None, :, None]
+                zg = zg * (pair_fac * grp.comp_norms)[None, None, :]
+                M2, Wk = _group_M(bra, grp, tbox_b)
+                for axis in range(3):
+                    dA_blk = _group_apply(M2, Wk, dWb[("bra", axis)])
+                    dB_blk = _group_apply(M2, Wk, dWb[("ket", axis)])
+                    vA = np.einsum("mxc,mxc->m", dA_blk, zg)
+                    vB = np.einsum("mxc,mxc->m", dB_blk, zg)
+                    g[sha.atom, axis] += vA.sum()
+                    g[shb.atom, axis] += vB.sum()
+                    np.subtract.at(g[:, axis], grp.atoms, vA + vB)
+    return g
+
+
+def schwarz_pair_bounds(basis: BasisSet) -> np.ndarray:
+    """Cauchy-Schwarz bounds ``Q_ij = max sqrt((ab|ab))`` per shell pair.
+
+    Standard screening for the four-center paths: ``|(ab|cd)| <= Q_ab
+    Q_cd``. Shape ``(nshells, nshells)``.
+    """
+    nsh = basis.nshells
+    Q = np.zeros((nsh, nsh))
+    for i, sha in enumerate(basis.shells):
+        ca = comp_arrays(sha.l)
+        for j in range(i, nsh):
+            shb = basis.shells[j]
+            cb = comp_arrays(shb.l)
+            pd = pair_data(sha, shb)
+            blk = _eri_general(pd, pd, ca, cb, ca, cb)
+            na, nb = len(ca), len(cb)
+            diag = np.abs(
+                blk.reshape(na * nb, na * nb)[np.diag_indices(na * nb)]
+            )
+            Q[i, j] = Q[j, i] = float(np.sqrt(diag.max()))
+    return Q
+
+
+def contract_eri4c_deriv_hf(
+    basis: BasisSet, D: np.ndarray, natoms: int, screen: float = 1.0e-11
+) -> np.ndarray:
+    """Two-electron part of the conventional RHF gradient.
+
+    ``g = 1/2 sum_{mnls} (mn|ls)^xi [D_mn D_ls - 1/2 D_ms D_nl]`` with D
+    the (doubly occupied) AO density. The ordered sum is folded onto
+    canonical shell quartets (i<=j, (ij)<=(kl)) by accumulating the
+    permutation images into one coefficient tensor,
+
+        Gamma_tot = 8 D_mn D_ls - 2 (D_ms D_nl + D_ml D_ns),
+
+    weighted by the quartet's degeneracy/8. The fourth center's
+    derivative follows from translational invariance. This is the
+    four-center bottleneck RI-HF eliminates (paper Fig. 3).
+    """
+    g = np.zeros((natoms, 3))
+    shells = basis.shells
+    offs = basis.offsets
+    comps = [comp_arrays(sh.l) for sh in shells]
+    nsh = len(shells)
+    npairs = [(i, j) for i in range(nsh) for j in range(i, nsh)]
+    pds = {ij: pair_data(shells[ij[0]], shells[ij[1]], 1, 1) for ij in npairs}
+    Q = schwarz_pair_bounds(basis)
+    # per-slice density magnitudes for the screening bound
+    nb = basis.nbf
+    Dmax = np.zeros((nsh, nsh))
+    for i in range(nsh):
+        si_ = slice(offs[i], offs[i] + shells[i].nfunc)
+        for j in range(nsh):
+            sj_ = slice(offs[j], offs[j] + shells[j].nfunc)
+            Dmax[i, j] = float(np.abs(D[si_, sj_]).max())
+    # derivative integrals grow like 2*alpha*extent relative to the plain
+    # Schwarz bound; absorb that in a conservative prefactor
+    safety = 50.0
+    for pi, (i, j) in enumerate(npairs):
+        si = slice(offs[i], offs[i] + shells[i].nfunc)
+        sj = slice(offs[j], offs[j] + shells[j].nfunc)
+        for k, l in npairs[pi:]:
+            atoms = (shells[i].atom, shells[j].atom, shells[k].atom, shells[l].atom)
+            if atoms[0] == atoms[1] == atoms[2] == atoms[3]:
+                continue
+            gbound = 8.0 * max(
+                Dmax[i, j] * Dmax[k, l],
+                Dmax[i, l] * Dmax[j, k],
+                Dmax[i, k] * Dmax[j, l],
+            )
+            if safety * Q[i, j] * Q[k, l] * gbound < screen:
+                continue
+            sk = slice(offs[k], offs[k] + shells[k].nfunc)
+            sl_ = slice(offs[l], offs[l] + shells[l].nfunc)
+            deg = (
+                (2.0 if i != j else 1.0)
+                * (2.0 if k != l else 1.0)
+                * (2.0 if (i, j) != (k, l) else 1.0)
+            )
+            w = 0.5 * deg / 8.0
+            gamma = w * (
+                8.0 * np.einsum("ab,cd->abcd", D[si, sj], D[sk, sl_])
+                - 2.0 * np.einsum("ad,bc->abcd", D[si, sl_], D[sj, sk])
+                - 2.0 * np.einsum("ac,bd->abcd", D[si, sk], D[sj, sl_])
+            )
+            gamma = (
+                gamma
+                * shells[i].comp_norms[:, None, None, None]
+                * shells[j].comp_norms[None, :, None, None]
+                * shells[k].comp_norms[None, None, :, None]
+                * shells[l].comp_norms[None, None, None, :]
+            )
+            d = _deriv_blocks_pairwise(
+                pds[(i, j)], pds[(k, l)], comps[i], comps[j], comps[k], comps[l],
+                ("braA", "braB", "ketC"),
+            )
+            vA = np.einsum("xabcd,abcd->x", d["braA"], gamma)
+            vB = np.einsum("xabcd,abcd->x", d["braB"], gamma)
+            vC = np.einsum("xabcd,abcd->x", d["ketC"], gamma)
+            g[atoms[0]] += vA
+            g[atoms[1]] += vB
+            g[atoms[2]] += vC
+            g[atoms[3]] -= vA + vB + vC
+    return g

@@ -1,0 +1,75 @@
+"""Multipole (dipole) integrals over contracted Gaussians.
+
+Dipole matrix elements decompose per dimension through the Hermite
+E-tables: with the bra-centered coordinate ``x = (x - A_x) + A_x``,
+
+    <a| x |b> = S_{i+1, j} + A_x S_{i, j}
+
+where ``S_{ij} = E_0^{ij} sqrt(pi/p)`` is the 1D overlap with raised
+bra power — the same raise/lower machinery the derivative engine uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..basis.basisset import BasisSet
+    from ..chem.molecule import Molecule
+from .engine import comp_arrays, pair_data
+from .onee import _pair_norms
+
+
+def dipole_integrals(basis: BasisSet, origin: np.ndarray | None = None) -> np.ndarray:
+    """Dipole-moment integrals ``<mu| r - origin |nu>``.
+
+    Returns shape ``(3, nbf, nbf)`` (Bohr). ``origin`` defaults to the
+    coordinate origin.
+    """
+    if origin is None:
+        origin = np.zeros(3)
+    origin = np.asarray(origin, dtype=float)
+    n = basis.nbf
+    out = np.zeros((3, n, n))
+    for ish, sha in enumerate(basis.shells):
+        oa = basis.offsets[ish]
+        ca = comp_arrays(sha.l)
+        for jsh in range(ish, basis.nshells):
+            shb = basis.shells[jsh]
+            ob = basis.offsets[jsh]
+            cb = comp_arrays(shb.l)
+            pd = pair_data(sha, shb, 1, 0)  # bra raised by one
+            pref = pd.cc * (np.pi / pd.p) ** 1.5
+            norms = _pair_norms(sha, shb)
+            for axis in range(3):
+                ia = ca[:, None, axis]
+                jb = cb[None, :, axis]
+                s_dims = []
+                m_dim = None
+                for dim in range(3):
+                    E = pd.E[:, dim]
+                    i_d = ca[:, None, dim]
+                    j_d = cb[None, :, dim]
+                    s = E[:, i_d, j_d, 0]
+                    if dim == axis:
+                        raised = E[:, i_d + 1, j_d, 0]
+                        m_dim = raised + (sha.center[axis] - origin[axis]) * s
+                    s_dims.append(s)
+                prod = m_dim
+                for dim in range(3):
+                    if dim != axis:
+                        prod = prod * s_dims[dim]
+                blk = np.einsum("n,nab->ab", pref, prod) * norms
+                out[axis, oa : oa + sha.nfunc, ob : ob + shb.nfunc] = blk
+                out[axis, ob : ob + shb.nfunc, oa : oa + sha.nfunc] = blk.T
+    return out
+
+
+def nuclear_dipole(mol: Molecule, origin: np.ndarray | None = None) -> np.ndarray:
+    """Nuclear contribution ``sum_A Z_A (R_A - origin)`` (Bohr * e)."""
+    if origin is None:
+        origin = np.zeros(3)
+    z = mol.atomic_numbers.astype(float)
+    return (z[:, None] * (mol.coords - np.asarray(origin))).sum(axis=0)

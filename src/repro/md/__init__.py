@@ -1,0 +1,35 @@
+"""Ab initio molecular dynamics: NVE Verlet, sync and async scheduling."""
+
+from .aimd import Trajectory, run_aimd
+from .drivers import run_parallel
+from .integrators import (
+    fs_to_au,
+    instantaneous_temperature,
+    kinetic_energy,
+    maxwell_boltzmann_velocities,
+    verlet_step,
+)
+from .scheduler import AsyncCoordinator, FragmentStub, PolymerTask, run_serial
+from .thermostats import BerendsenThermostat, LangevinThermostat
+from .trajio import load_restart, read_trajectory_xyz, save_restart, write_trajectory_xyz
+
+__all__ = [
+    "AsyncCoordinator",
+    "BerendsenThermostat",
+    "FragmentStub",
+    "LangevinThermostat",
+    "load_restart",
+    "read_trajectory_xyz",
+    "save_restart",
+    "write_trajectory_xyz",
+    "PolymerTask",
+    "Trajectory",
+    "fs_to_au",
+    "instantaneous_temperature",
+    "kinetic_energy",
+    "maxwell_boltzmann_velocities",
+    "run_aimd",
+    "run_parallel",
+    "run_serial",
+    "verlet_step",
+]

@@ -1,0 +1,50 @@
+"""Execution drivers for the asynchronous coordinator.
+
+`run_parallel` plays the role of the worker groups in the paper's
+multi-layer scheme (Fig. 2): a pool of processes pulls polymers from the
+coordinator's priority queue and streams results back; the coordinator
+(this process) is the super-coordinator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+from .scheduler import AsyncCoordinator
+
+
+def _evaluate(calculator, molecule):
+    return calculator.energy_gradient(molecule)
+
+
+def run_parallel(
+    coordinator: AsyncCoordinator,
+    calculator,
+    nworkers: int = 4,
+) -> None:
+    """Drive a coordinator to completion with a process pool.
+
+    Tasks are dispatched eagerly up to ``nworkers`` in flight; each
+    completion may unlock new polymers (possibly of the next time step),
+    which are picked up immediately — the asynchronous overlap the paper
+    exploits.
+    """
+    ctx = mp.get_context("fork")
+    with ProcessPoolExecutor(max_workers=nworkers, mp_context=ctx) as pool:
+        futures = {}
+        while not coordinator.done():
+            while len(futures) < nworkers:
+                task = coordinator.next_task()
+                if task is None:
+                    break
+                futures[pool.submit(_evaluate, calculator, task.molecule)] = task
+            if not futures:
+                if not coordinator.done():
+                    raise RuntimeError("scheduler deadlock: no tasks, none in flight")
+                break
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for fut in done:
+                task = futures.pop(fut)
+                e, g = fut.result()
+                coordinator.complete(task, e, g)

@@ -1,0 +1,63 @@
+"""Velocity-Verlet integration utilities (atomic units internally)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import AU_TIME_PER_FS, KB_HARTREE_PER_K
+
+
+def maxwell_boltzmann_velocities(
+    masses_au: np.ndarray, temperature_k: float, seed: int = 0
+) -> np.ndarray:
+    """Initial velocities (Bohr / a.u. time) at a target temperature with
+    the center-of-mass drift removed."""
+    rng = np.random.default_rng(seed)
+    natoms = masses_au.shape[0]
+    sigma = np.sqrt(KB_HARTREE_PER_K * temperature_k / masses_au)
+    v = rng.standard_normal((natoms, 3)) * sigma[:, None]
+    # remove center-of-mass motion
+    p = (v * masses_au[:, None]).sum(axis=0)
+    v -= p[None, :] / masses_au.sum()
+    return v
+
+
+def kinetic_energy(masses_au: np.ndarray, velocities: np.ndarray) -> float:
+    """Total kinetic energy in Hartree."""
+    return 0.5 * float(np.sum(masses_au[:, None] * velocities**2))
+
+
+def instantaneous_temperature(masses_au: np.ndarray, velocities: np.ndarray) -> float:
+    """Kinetic temperature in Kelvin (3N degrees of freedom)."""
+    ke = kinetic_energy(masses_au, velocities)
+    ndof = 3 * masses_au.shape[0]
+    return 2.0 * ke / (ndof * KB_HARTREE_PER_K)
+
+
+def fs_to_au(dt_fs: float) -> float:
+    """Convert femtoseconds to atomic time units."""
+    return dt_fs * AU_TIME_PER_FS
+
+
+def verlet_step(
+    coords: np.ndarray,
+    velocities: np.ndarray,
+    forces: np.ndarray,
+    masses_au: np.ndarray,
+    dt_au: float,
+    force_fn,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """One full velocity-Verlet step.
+
+    Args:
+        force_fn: callable ``coords -> (potential_energy, forces)``.
+
+    Returns:
+        ``(coords', velocities', forces', potential_energy')``.
+    """
+    acc = forces / masses_au[:, None]
+    coords_new = coords + velocities * dt_au + 0.5 * acc * dt_au**2
+    e_new, forces_new = force_fn(coords_new)
+    acc_new = forces_new / masses_au[:, None]
+    velocities_new = velocities + 0.5 * (acc + acc_new) * dt_au
+    return coords_new, velocities_new, forces_new, e_new

@@ -1,0 +1,417 @@
+"""Asynchronous time-step coordination (paper Sec. V-F, Fig. 4).
+
+The `AsyncCoordinator` is the super-coordinator's state machine,
+decoupled from how work is executed: a driver repeatedly calls
+`next_task()` and hands back results through `complete()`. Drivers can
+be a serial loop, a process pool (`repro.md.drivers`), or the
+discrete-event cluster simulator (`repro.cluster`), which advances a
+virtual clock instead of the wall clock.
+
+Faithful features:
+
+* polymers enter a priority queue keyed by (distance of the polymer to
+  the reference monomer, time step, decreasing size) — the computation
+  sweeps outward from a reference fragment at an extremity, so monomers
+  near the reference finish early and *start the next step while the
+  rest of the previous step is still computing*;
+* a monomer integrates (velocity Verlet, kick-drift-kick) the moment
+  every polymer touching its atoms (including through H-cap chain
+  terms) has returned;
+* polymer gradients are accumulated directly into a per-step system
+  buffer (trimers all carry MBE coefficient +1, so no per-trimer
+  storage is needed);
+* fragments with broken bonds wait for their cap-donor neighbors to
+  update before entering the next step's queue;
+* the polymer list is re-formed every ``replan_interval`` steps
+  (pre-formed-list mode; the list and its MBE coefficients stay fixed
+  within the window, which is what makes direct accumulation exact);
+* synchronous mode (global barrier per step) is the paper's baseline
+  and is exposed with ``synchronous=True``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chem.molecule import Molecule
+from ..frag.mbe import MBEPlan, build_plan
+from ..frag.monomer import FragmentedSystem
+from .integrators import fs_to_au, maxwell_boltzmann_velocities
+
+
+@dataclass
+class FragmentStub:
+    """Lightweight fragment descriptor for timing-only simulations."""
+
+    natoms: int
+    nelectrons: int
+
+
+@dataclass
+class PolymerTask:
+    """One fragment calculation assigned to a worker."""
+
+    key: tuple[int, ...]
+    step: int
+    molecule: Molecule | FragmentStub
+    atoms: list[int] | None
+    caps: list | None
+    coefficient: float
+    distance: float  # priority distance to the reference monomer (Bohr)
+
+    @property
+    def natoms(self) -> int:
+        """Atom count of the fragment (including cap hydrogens)."""
+        return self.molecule.natoms
+
+    @property
+    def nelectrons(self) -> int:
+        """Electron count of the fragment (drives the cost model)."""
+        return self.molecule.nelectrons
+
+
+class AsyncCoordinator:
+    """Super-coordinator state machine for (a)synchronous fragment AIMD."""
+
+    def __init__(
+        self,
+        system: FragmentedSystem,
+        nsteps: int,
+        dt_fs: float,
+        r_dimer_bohr: float,
+        r_trimer_bohr: float | None = None,
+        mbe_order: int = 3,
+        temperature_k: float = 300.0,
+        seed: int = 0,
+        reference: int | None = None,
+        replan_interval: int = 4,
+        synchronous: bool = False,
+        velocities: np.ndarray | None = None,
+        clock=time.perf_counter,
+        build_molecules: bool = True,
+    ) -> None:
+        self.system = system
+        self.nsteps = nsteps
+        self.dt = fs_to_au(dt_fs)
+        self.dt_fs = dt_fs
+        self.r_dimer = r_dimer_bohr
+        self.r_trimer = r_trimer_bohr
+        self.order = mbe_order
+        self.replan_interval = max(1, replan_interval)
+        self.synchronous = synchronous
+        self.clock = clock
+
+        parent = system.parent
+        self.masses = parent.masses_au
+        self.coords = parent.coords.copy()
+        if velocities is None:
+            self.velocities = maxwell_boltzmann_velocities(
+                self.masses, temperature_k, seed=seed
+            )
+        else:
+            self.velocities = velocities.copy()
+
+        self.build_molecules = build_molecules
+        nmono = system.nmonomers
+        self.monomer_atoms = [list(m.atoms) for m in system.monomers]
+        # cap neighbor map: J is a neighbor of I if a broken bond connects them
+        self.cap_neighbors: list[set[int]] = [set() for _ in range(nmono)]
+        #: per-monomer cap targets: owners of each cap's outer atom
+        self.cap_targets: list[list[int]] = [[] for _ in range(nmono)]
+        for m in system.monomers:
+            for cap in m.caps:
+                j = system.atom_owner[cap.outer]
+                self.cap_neighbors[m.index].add(j)
+                self.cap_neighbors[j].add(m.index)
+                self.cap_targets[m.index].append(j)
+        zsum = parent.atomic_numbers
+        self._mono_electrons = np.array(
+            [int(zsum[list(m.atoms)].sum()) - m.charge for m in system.monomers]
+        )
+        self._mono_natoms = np.array([len(m.atoms) for m in system.monomers])
+
+        # reference fragment: an extremity (max distance from the centroid)
+        cents = system.centroids()
+        if reference is None:
+            reference = int(
+                np.argmax(np.linalg.norm(cents - cents.mean(axis=0), axis=1))
+            )
+        self.reference = reference
+
+        #: per-monomer time step index (completed integrations)
+        self.monomer_time = np.zeros(nmono, dtype=int)
+        self.monomer_done = np.zeros(nmono, dtype=bool)
+        #: coordinates of each monomer at each step it has reached
+        self.coords_at: dict[int, np.ndarray] = {0: parent.coords.copy()}
+
+        # per-step accumulation state
+        self._grad: dict[int, np.ndarray] = {}
+        self._pe: dict[int, float] = {}
+        self._pending_total: dict[int, int] = {}
+        self._pending_monomer: dict[int, np.ndarray] = {}
+        self._queued: dict[int, set] = {}
+        self._ke: dict[int, float] = {}
+        self._ke_done: dict[int, int] = {}
+
+        # results
+        self.potential_energies: dict[int, float] = {}
+        self.kinetic_energies: dict[int, float] = {}
+        self.step_finish_time: dict[int, float] = {}
+        self.start_time = self.clock()
+
+        # plan windows
+        self.plans: dict[int, MBEPlan] = {}
+        self._plan_touch: dict[int, dict[tuple, list[int]]] = {}
+        self._build_plan_window(0)
+
+        self._heap: list = []
+        self._seq = 0
+        self.in_flight = 0
+        self.tasks_issued = 0
+        for step in self._steps_of_window(0):
+            self._try_release_step_polymers(step)
+
+    # ------------------------------------------------------------------
+    # plan management
+    # ------------------------------------------------------------------
+    def _window_start(self, step: int) -> int:
+        return (step // self.replan_interval) * self.replan_interval
+
+    def _steps_of_window(self, w0: int) -> range:
+        return range(w0, min(w0 + self.replan_interval, self.nsteps + 1))
+
+    def _build_plan_window(self, w0: int) -> None:
+        coords = self.coords_at.get(w0, self.coords)
+        plan = build_plan(
+            self.system, self.r_dimer, self.r_trimer, order=self.order, coords=coords
+        )
+        self.plans[w0] = plan
+        # touch set: constituents plus owners of outward cap atoms —
+        # computable from topology alone (no geometry needed)
+        touch: dict[tuple, list[int]] = {}
+        mono_keys: dict[int, list[tuple]] = {
+            m: [] for m in range(self.system.nmonomers)
+        }
+        for key in plan.fragments:
+            kset = set(key)
+            t = set(key)
+            for m in key:
+                for j in self.cap_targets[m]:
+                    if j not in kset:
+                        t.add(j)
+            tl = sorted(t)
+            touch[key] = tl
+            for m in tl:
+                mono_keys[m].append(key)
+        self._plan_touch[w0] = touch
+        self._mono_keys = mono_keys
+        nmono = self.system.nmonomers
+        counts0 = np.zeros(nmono, dtype=int)
+        for key, tl in touch.items():
+            for m in tl:
+                counts0[m] += 1
+        for step in self._steps_of_window(w0):
+            self._pending_monomer[step] = counts0.copy()
+            self._pending_total[step] = plan.npolymers
+            self._grad[step] = np.zeros((self.system.parent.natoms, 3))
+            self._pe[step] = 0.0
+            self._queued[step] = set()
+            self._ke[step] = 0.0
+            self._ke_done[step] = 0
+
+    def plan_for_step(self, step: int) -> MBEPlan:
+        """The MBE plan whose window covers ``step``."""
+        return self.plans[self._window_start(step)]
+
+    # ------------------------------------------------------------------
+    # task release
+    # ------------------------------------------------------------------
+    def _polymer_ready(self, key: tuple, step: int, touch: list[int]) -> bool:
+        if self.synchronous and int(self.monomer_time.min()) < step:
+            return False
+        return all(self.monomer_time[m] >= step for m in touch)
+
+    def _ref_centroid(self, step: int) -> np.ndarray:
+        cache = getattr(self, "_ref_cent_cache", None)
+        if cache is None:
+            cache = self._ref_cent_cache = {}
+        if step not in cache:
+            coords = self.coords_at[step]
+            cache[step] = coords[self.monomer_atoms[self.reference]].mean(axis=0)
+        return cache[step]
+
+    def _release(self, key: tuple, step: int) -> None:
+        w0 = self._window_start(step)
+        coords = self.coords_at[step]
+        if self.build_molecules:
+            mol, atoms, caps = self.system.fragment_molecule(key, coords)
+        else:
+            ncaps = sum(
+                1
+                for m in key
+                for j in self.cap_targets[m]
+                if j not in key
+            )
+            mol = FragmentStub(
+                natoms=int(self._mono_natoms[list(key)].sum()) + ncaps,
+                nelectrons=int(self._mono_electrons[list(key)].sum()) + ncaps,
+            )
+            atoms = caps = None
+        ref = self._ref_centroid(step)
+        dist = min(
+            float(np.linalg.norm(coords[self.monomer_atoms[m]].mean(axis=0) - ref))
+            for m in key
+        )
+        plan = self.plans[w0]
+        task = PolymerTask(
+            key=key,
+            step=step,
+            molecule=mol,
+            atoms=atoms,
+            caps=caps,
+            coefficient=plan.coefficients[key],
+            distance=dist,
+        )
+        heapq.heappush(
+            self._heap, (dist, step, -task.natoms, self._seq, task)
+        )
+        self._seq += 1
+        self._queued[step].add(key)
+
+    def _try_release_step_polymers(self, step: int, only_monomer: int | None = None) -> None:
+        if step > self.nsteps:
+            return
+        w0 = self._window_start(step)
+        if w0 not in self.plans:
+            return
+        touch = self._plan_touch[w0]
+        queued = self._queued[step]
+        if only_monomer is not None:
+            keys = self._mono_keys.get(only_monomer, ())
+        else:
+            keys = touch.keys()
+        for key in keys:
+            if key in queued:
+                continue
+            t = touch[key]
+            if self._polymer_ready(key, step, t):
+                self._release(key, step)
+
+    # ------------------------------------------------------------------
+    # driver interface
+    # ------------------------------------------------------------------
+    def next_task(self) -> PolymerTask | None:
+        """Pop the highest-priority ready polymer, or None if none ready."""
+        if not self._heap:
+            return None
+        _, _, _, _, task = heapq.heappop(self._heap)
+        self.in_flight += 1
+        self.tasks_issued += 1
+        return task
+
+    def complete(self, task: PolymerTask, energy: float, grad_frag: np.ndarray) -> None:
+        """Accept a finished polymer: accumulate, integrate ready monomers,
+        release newly-ready polymers."""
+        self.in_flight -= 1
+        step = task.step
+        c = task.coefficient
+        self._pe[step] += c * energy
+        if task.atoms is not None and grad_frag is not None:
+            self.system.map_gradient(
+                grad_frag, task.atoms, task.caps, self._grad[step], scale=c
+            )
+        self._pending_total[step] -= 1
+        if self._pending_total[step] == 0:
+            self.potential_energies[step] = self._pe[step]
+            self.step_finish_time[step] = self.clock() - self.start_time
+        w0 = self._window_start(step)
+        touch = self._plan_touch[w0][task.key]
+        counts = self._pending_monomer[step]
+        for m in touch:
+            counts[m] -= 1
+            if counts[m] == 0:
+                self._integrate_monomer(m, step)
+
+    def _integrate_monomer(self, m: int, step: int) -> None:
+        """Velocity-Verlet update of one monomer whose step forces are done."""
+        rows = self.monomer_atoms[m]
+        acc = -self._grad[step][rows] / self.masses[rows, None]
+        if step > 0:
+            # second half-kick completing the previous step
+            self.velocities[rows] += 0.5 * self.dt * acc
+        # kinetic energy at integer step
+        ke = 0.5 * float(
+            np.sum(self.masses[rows, None] * self.velocities[rows] ** 2)
+        )
+        self._ke[step] += ke
+        self._ke_done[step] += 1
+        if self._ke_done[step] == self.system.nmonomers:
+            self.kinetic_energies[step] = self._ke[step]
+        if step >= self.nsteps:
+            self.monomer_done[m] = True
+            return
+        # first half-kick + drift
+        self.velocities[rows] += 0.5 * self.dt * acc
+        self.coords[rows] += self.dt * self.velocities[rows]
+        self.monomer_time[m] = step + 1
+        nxt = step + 1
+        if nxt not in self.coords_at:
+            self.coords_at[nxt] = self.coords_at[step].copy()
+        self.coords_at[nxt][rows] = self.coords[rows]
+        # plan rebuild when the slowest monomer enters a new window
+        w_next = self._window_start(nxt)
+        if w_next not in self.plans and int(self.monomer_time.min()) >= w_next:
+            self._build_plan_window(w_next)
+            for s in self._steps_of_window(w_next):
+                self._try_release_step_polymers(s)
+        if self._window_start(nxt) in self.plans:
+            if self.synchronous:
+                # barrier: release only when everyone has arrived
+                if int(self.monomer_time.min()) >= nxt:
+                    self._try_release_step_polymers(nxt)
+            else:
+                self._try_release_step_polymers(nxt, only_monomer=m)
+
+    def done(self) -> bool:
+        """True once every monomer has completed all time steps."""
+        return bool(self.monomer_done.all())
+
+    def has_ready_tasks(self) -> bool:
+        """True if the priority queue currently holds released polymers."""
+        return bool(self._heap)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def trajectory_energies(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(times_fs, potential, kinetic) for all completed steps."""
+        steps = sorted(
+            set(self.potential_energies) & set(self.kinetic_energies)
+        )
+        t = np.array([s * self.dt_fs for s in steps])
+        pe = np.array([self.potential_energies[s] for s in steps])
+        ke = np.array([self.kinetic_energies[s] for s in steps])
+        return t, pe, ke
+
+    @property
+    def max_step_skew(self) -> int:
+        """Largest lead of any monomer over the slowest one (observed now)."""
+        return int(self.monomer_time.max() - self.monomer_time.min())
+
+
+def run_serial(coordinator: AsyncCoordinator, calculator) -> None:
+    """Drive a coordinator to completion with a single worker."""
+    while not coordinator.done():
+        task = coordinator.next_task()
+        if task is None:
+            if coordinator.in_flight == 0 and not coordinator.done():
+                raise RuntimeError(
+                    "scheduler deadlock: no ready tasks, nothing in flight"
+                )
+            continue
+        e, g = calculator.energy_gradient(task.molecule)
+        coordinator.complete(task, e, g)

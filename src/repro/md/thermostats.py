@@ -1,0 +1,59 @@
+"""Thermostats for NVT sampling (beyond the paper's NVE runs).
+
+The paper runs microcanonical dynamics; production studies of the
+applications it motivates (polymorph stability, fibril assembly) need
+canonical sampling, so the library ships two standard thermostats:
+
+* `BerendsenThermostat` — weak-coupling velocity rescaling. Simple and
+  robust; does not sample the exact canonical ensemble.
+* `LangevinThermostat` — stochastic friction + noise applied as an
+  Ornstein-Uhlenbeck velocity update between Verlet steps (the "O" part
+  of BAOAB splitting); samples the canonical ensemble for small dt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import KB_HARTREE_PER_K
+from .integrators import instantaneous_temperature
+
+
+@dataclass
+class BerendsenThermostat:
+    """Weak-coupling rescaling toward a target temperature."""
+
+    temperature_k: float
+    tau_fs: float = 50.0
+
+    def apply(self, velocities: np.ndarray, masses_au: np.ndarray, dt_fs: float) -> np.ndarray:
+        """Rescale velocities toward the target temperature."""
+        t_now = instantaneous_temperature(masses_au, velocities)
+        if t_now <= 0:
+            return velocities
+        lam2 = 1.0 + (dt_fs / self.tau_fs) * (self.temperature_k / t_now - 1.0)
+        return velocities * np.sqrt(max(lam2, 0.0))
+
+
+@dataclass
+class LangevinThermostat:
+    """Ornstein-Uhlenbeck velocity update (friction + matched noise)."""
+
+    temperature_k: float
+    friction_per_fs: float = 0.01
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def apply(self, velocities: np.ndarray, masses_au: np.ndarray, dt_fs: float) -> np.ndarray:
+        """One OU step: exponential friction plus matched thermal noise."""
+        c1 = np.exp(-self.friction_per_fs * dt_fs)
+        sigma = np.sqrt(
+            (1.0 - c1 * c1) * KB_HARTREE_PER_K * self.temperature_k / masses_au
+        )
+        noise = self._rng.standard_normal(velocities.shape) * sigma[:, None]
+        return c1 * velocities + noise

@@ -1,0 +1,86 @@
+"""Trajectory input/output: multi-frame XYZ with energy comments."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..chem.molecule import Molecule
+from ..chem.xyz import format_xyz
+from .aimd import Trajectory
+
+
+def write_trajectory_xyz(
+    traj: Trajectory, mol: Molecule, path: str | Path
+) -> None:
+    """Write every frame as a concatenated XYZ file.
+
+    The comment line carries ``t= <fs> E_pot= <Ha> E_kin= <Ha>`` so the
+    file round-trips through `read_trajectory_xyz`.
+    """
+    chunks = []
+    for t, pe, ke, coords in zip(
+        traj.times_fs, traj.potential, traj.kinetic, traj.coords
+    ):
+        frame = mol.with_coords(coords)
+        chunks.append(
+            format_xyz(frame, comment=f"t= {t:.6f} E_pot= {pe:.12f} E_kin= {ke:.12f}")
+        )
+    Path(path).write_text("".join(chunks))
+
+
+def read_trajectory_xyz(path: str | Path) -> tuple[Molecule, Trajectory]:
+    """Read a trajectory written by `write_trajectory_xyz`.
+
+    Returns the molecule (atoms from the first frame) and a `Trajectory`
+    with times/energies/coordinates restored.
+    """
+    from ..chem.xyz import parse_xyz
+
+    text = Path(path).read_text()
+    lines = text.splitlines()
+    traj = Trajectory()
+    mol = None
+    i = 0
+    while i < len(lines):
+        if not lines[i].strip():
+            i += 1
+            continue
+        n = int(lines[i].split()[0])
+        block = "\n".join(lines[i : i + n + 2])
+        frame = parse_xyz(block)
+        comment = lines[i + 1].split()
+        vals = {
+            comment[k].rstrip("="): float(comment[k + 1])
+            for k in range(0, len(comment) - 1, 2)
+            if comment[k].endswith("=")
+        }
+        if mol is None:
+            mol = frame
+        traj.times_fs.append(vals.get("t", 0.0))
+        traj.potential.append(vals.get("E_pot", 0.0))
+        traj.kinetic.append(vals.get("E_kin", 0.0))
+        traj.coords.append(frame.coords)
+        i += n + 2
+    if mol is None:
+        raise ValueError(f"no frames found in {path}")
+    return mol, traj
+
+
+def save_restart(path: str | Path, traj: Trajectory) -> None:
+    """Persist the final MD frame (coords, velocities, time) as .npz."""
+    if not traj.coords or not traj.velocities:
+        raise ValueError("trajectory carries no restart state")
+    np.savez(
+        path,
+        coords=traj.coords[-1],
+        velocities=traj.velocities[-1],
+        time_fs=traj.times_fs[-1],
+    )
+
+
+def load_restart(path: str | Path) -> tuple[np.ndarray, np.ndarray, float]:
+    """Load a restart file: ``(coords, velocities, time_fs)``."""
+    data = np.load(path)
+    return data["coords"], data["velocities"], float(data["time_fs"])

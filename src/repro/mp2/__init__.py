@@ -1,0 +1,30 @@
+"""MP2 correlation energies and the analytic RI-MP2 gradient."""
+
+from .mp2 import MP2Result, mo_b_tensor, mp2, mp2_conventional, mp2_ri, pair_energies, scs_theta
+from .rimp2_grad import (
+    CorrectionCoefficients,
+    MP2GradientResult,
+    full_mo_b,
+    mp2_correction_coefficients,
+    rimp2_gradient,
+    rimp2_gradient_conventional_hf,
+)
+from .zvector import apply_orbital_hessian, solve_zvector
+
+__all__ = [
+    "CorrectionCoefficients",
+    "MP2GradientResult",
+    "MP2Result",
+    "apply_orbital_hessian",
+    "full_mo_b",
+    "mo_b_tensor",
+    "mp2",
+    "mp2_conventional",
+    "mp2_ri",
+    "pair_energies",
+    "scs_theta",
+    "mp2_correction_coefficients",
+    "rimp2_gradient",
+    "rimp2_gradient_conventional_hf",
+    "solve_zvector",
+]

@@ -1,0 +1,67 @@
+"""Molecular properties from SCF and MP2 relaxed densities.
+
+The MP2 dipole is evaluated with the *relaxed* one-particle density
+(unrelaxed blocks + Z-vector orbital response) — the same density that
+enters the analytic gradient, so property tests independently validate
+the response machinery: ``dE/d(field) = -dipole`` must hold by the
+Hellmann-Feynman theorem for the relaxed density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .gemm import gemm
+from .integrals.moments import dipole_integrals, nuclear_dipole
+from .mp2.rimp2_grad import mp2_correction_coefficients
+from .scf.rhf import SCFResult
+
+DEBYE_PER_AU = 2.541746473
+
+
+@dataclass
+class DipoleResult:
+    """Dipole moment in atomic units (e * Bohr)."""
+
+    dipole_au: np.ndarray  # (3,)
+    nuclear: np.ndarray
+    electronic: np.ndarray
+
+    @property
+    def magnitude_au(self) -> float:
+        """Dipole magnitude in atomic units."""
+        return float(np.linalg.norm(self.dipole_au))
+
+    @property
+    def magnitude_debye(self) -> float:
+        """Dipole magnitude in Debye."""
+        return self.magnitude_au * DEBYE_PER_AU
+
+
+def scf_dipole(res: SCFResult, origin: np.ndarray | None = None) -> DipoleResult:
+    """Hartree-Fock dipole moment from the SCF density."""
+    M = dipole_integrals(res.basis, origin=origin)
+    nuc = nuclear_dipole(res.mol, origin=origin)
+    elec = -np.einsum("xmn,mn->x", M, res.D)
+    return DipoleResult(dipole_au=nuc + elec, nuclear=nuc, electronic=elec)
+
+
+def mp2_dipole(
+    res: SCFResult,
+    origin: np.ndarray | None = None,
+    c_os: float = 1.0,
+    c_ss: float = 1.0,
+) -> DipoleResult:
+    """MP2 dipole from the relaxed density (SCF + MP2 response).
+
+    Requires an RI SCF reference (the correction coefficients reuse the
+    gradient machinery).
+    """
+    M = dipole_integrals(res.basis, origin=origin)
+    nuc = nuclear_dipole(res.mol, origin=origin)
+    cc = mp2_correction_coefficients(res, c_os=c_os, c_ss=c_ss)
+    D_total = res.D + cc.Pc_ao
+    elec = -np.einsum("xmn,mn->x", M, D_total)
+    return DipoleResult(dipole_au=nuc + elec, nuclear=nuc, electronic=elec)

@@ -1,0 +1,16 @@
+"""Restricted Hartree-Fock solvers (conventional and RI) and gradients."""
+
+from .diis import DIIS
+from .grad import rhf_gradient, rhf_gradient_conventional, rhf_gradient_ri
+from .rhf import SCFConvergenceError, SCFResult, build_ri_tensors, rhf
+
+__all__ = [
+    "DIIS",
+    "SCFConvergenceError",
+    "SCFResult",
+    "build_ri_tensors",
+    "rhf",
+    "rhf_gradient",
+    "rhf_gradient_conventional",
+    "rhf_gradient_ri",
+]

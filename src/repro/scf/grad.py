@@ -1,0 +1,103 @@
+"""Analytic RHF nuclear gradients: conventional and RI variants.
+
+The RI-HF gradient eliminates four-center integral derivatives entirely
+(paper Sec. V-E): all two-electron derivative work reduces to contractions
+of coefficient tensors with ``(mu nu|P)^xi`` and ``(P|Q)^xi``. The
+coefficients are derived against the *raw* three-center integrals and the
+raw metric J (the ``J^{-1}`` formulation), which avoids differentiating
+the matrix inverse square root:
+
+    E_J  = 1/2 sum_PQ d_P [J^{-1}]_PQ d_Q,        d_P = sum D (mu nu|P)
+    E_K  = -1/4 sum D_ml D_ns (mn|ls)_RI
+
+yielding
+
+    dE_J/d(mn|P)  = D_mn c_P                      c = J^{-1} d
+    dE_J/d(P|Q)   = -1/2 c_P c_Q
+    dE_K/d(mn|P)  = -1/2 (D Y^P D)_mn             Y^P = J^{-1}-fitted 3c
+    dE_K/d(P|Q)   = +1/4 sum (D Y^P D)_mn Y^Q_mn
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gemm import gemm
+from ..integrals import (
+    contract_eri2c_deriv,
+    contract_eri3c_deriv,
+    contract_eri4c_deriv_hf,
+    contract_hcore_deriv,
+    contract_overlap_deriv,
+)
+from .rhf import SCFResult
+
+
+def _energy_weighted_density(res: SCFResult) -> np.ndarray:
+    """W_mn = 2 sum_i eps_i C_mi C_ni (occupation-2 convention)."""
+    Co = res.C_occ
+    eps_o = res.eps[: res.nocc]
+    return 2.0 * gemm(Co * eps_o[None, :], Co.T)
+
+
+def rhf_gradient_conventional(res: SCFResult) -> np.ndarray:
+    """Analytic gradient of a conventional (four-center) RHF energy.
+
+    Returns ``(natoms, 3)`` in Hartree/Bohr.
+    """
+    mol = res.mol
+    natoms = mol.natoms
+    g = mol.nuclear_repulsion_gradient()
+    g += contract_hcore_deriv(res.basis, mol, res.D)
+    g += contract_eri4c_deriv_hf(res.basis, res.D, natoms)
+    W = _energy_weighted_density(res)
+    g -= contract_overlap_deriv(res.basis, W)
+    return g
+
+
+def ri_twoelectron_coefficients(
+    res: SCFResult,
+) -> tuple[np.ndarray, np.ndarray]:
+    """HF two-electron derivative coefficients (Z3c, zeta) for the RI path.
+
+    Z3c has shape ``(nbf, nbf, naux)`` and contracts with
+    ``(mu nu|P)^xi``; zeta has shape ``(naux, naux)`` and contracts with
+    ``(P|Q)^xi``.
+    """
+    if res.B is None or res.Jih is None:
+        raise ValueError("SCF result does not carry RI tensors (run with ri=True)")
+    B, Jih, D = res.B, res.Jih, res.D
+    n, _, naux = B.shape
+    # Fitted quantities in the J^{-1} formulation: Y = T3 J^{-1} = B Jih.
+    Y = gemm(B.reshape(n * n, naux), Jih).reshape(n, n, naux)
+    # Coulomb: d_P = sum D T3; c = J^{-1} d  ==  Y^T D.
+    c = gemm(Y.reshape(n * n, naux).T, D.reshape(n * n, 1)).ravel()
+    # Exchange intermediate: (D Y^P D)_mn for every P.
+    DY = np.einsum("ml,lsP->msP", D, Y, optimize=True)
+    DYD = np.einsum("msP,ns->mnP", DY, D, optimize=True)
+    Z3c = D[:, :, None] * c[None, None, :] - 0.5 * DYD
+    zeta = -0.5 * np.outer(c, c) + 0.25 * np.einsum(
+        "mnP,mnQ->PQ", DYD, Y, optimize=True
+    )
+    return Z3c, zeta
+
+
+def rhf_gradient_ri(res: SCFResult) -> np.ndarray:
+    """Analytic gradient of an RI-HF energy (no four-center derivatives)."""
+    mol = res.mol
+    natoms = mol.natoms
+    g = mol.nuclear_repulsion_gradient()
+    g += contract_hcore_deriv(res.basis, mol, res.D)
+    Z3c, zeta = ri_twoelectron_coefficients(res)
+    g += contract_eri3c_deriv(res.basis, res.aux, Z3c, natoms)
+    g += contract_eri2c_deriv(res.aux, zeta, natoms)
+    W = _energy_weighted_density(res)
+    g -= contract_overlap_deriv(res.basis, W)
+    return g
+
+
+def rhf_gradient(res: SCFResult) -> np.ndarray:
+    """Dispatch on how the SCF was solved."""
+    if res.method == "ri-rhf":
+        return rhf_gradient_ri(res)
+    return rhf_gradient_conventional(res)

@@ -1,0 +1,128 @@
+"""Polyglycine chains Gly_n (the Table III / Fig. 3 benchmark series).
+
+Chains are built residue-by-residue in an idealized extended (all-trans,
+planar zigzag) conformation with standard bond parameters; substituent
+positions (carbonyl O, amide/alpha hydrogens) are placed along local
+bisector frames so the covalent-radius bond detector recovers exactly
+the intended peptide connectivity. The point of the series is the
+*scaling* of HF+MP2 gradient cost with chain length and the
+amino-acid-per-monomer fragmentation (paper Table III), not a
+minimum-energy structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chem.molecule import Molecule
+from ..frag.monomer import FragmentedSystem
+
+# Standard bond lengths (Angstrom)
+_D = {
+    "N-CA": 1.46,
+    "CA-C": 1.52,
+    "C-N": 1.33,
+    "C=O": 1.23,
+    "N-H": 1.01,
+    "CA-H": 1.09,
+    "C-OH": 1.34,
+    "O-H": 0.96,
+}
+_ZIG = np.deg2rad(30.0)  # zigzag half-angle of the backbone
+
+
+def _unit(v) -> np.ndarray:
+    v = np.asarray(v, dtype=float)
+    return v / np.linalg.norm(v)
+
+
+def _bisector_away(center: np.ndarray, n1: np.ndarray, n2: np.ndarray) -> np.ndarray:
+    """Unit vector at ``center`` pointing away from both neighbors."""
+    return _unit(-(_unit(n1 - center) + _unit(n2 - center)))
+
+
+def glycine_chain(n: int) -> Molecule:
+    """H-(NH-CH2-CO)_n-OH with an idealized extended backbone.
+
+    Atom order per residue: ``N, H(N), CA, HA1, HA2, C, O``; then the
+    C-terminal ``O, H`` and the extra N-terminal ``H`` appended last.
+    """
+    if n < 1:
+        raise ValueError("need at least one residue")
+
+    def step(up: bool, length: float) -> np.ndarray:
+        s = 1.0 if up else -1.0
+        return length * np.array([np.cos(_ZIG), s * np.sin(_ZIG), 0.0])
+
+    # First pass: backbone heavy-atom positions N, CA, C per residue plus
+    # the virtual next-N (used for terminal OH and local frames).
+    bb: list[dict[str, np.ndarray]] = []
+    pos = np.zeros(3)
+    up = True
+    for _res in range(n):
+        Npos = pos.copy()
+        CApos = Npos + step(up, _D["N-CA"])
+        up = not up
+        Cpos = CApos + step(up, _D["CA-C"])
+        up = not up
+        next_N = Cpos + step(up, _D["C-N"])
+        up = not up
+        bb.append({"N": Npos, "CA": CApos, "C": Cpos, "nextN": next_N})
+        pos = next_N
+
+    symbols: list[str] = []
+    coords: list[np.ndarray] = []
+    zhat = np.array([0.0, 0.0, 1.0])
+    for res in range(n):
+        N, CA, C, nextN = (bb[res][k] for k in ("N", "CA", "C", "nextN"))
+        prev_anchor = bb[res - 1]["C"] if res > 0 else N - np.array([1.0, 0.0, 0.0])
+        symbols.append("N")
+        coords.append(N)
+        symbols.append("H")
+        coords.append(N + _D["N-H"] * _bisector_away(N, prev_anchor, CA))
+        symbols.append("C")
+        coords.append(CA)
+        bis = _bisector_away(CA, N, C)
+        for sz in (1.0, -1.0):
+            symbols.append("H")
+            coords.append(CA + _D["CA-H"] * _unit(0.5 * bis + sz * zhat))
+        symbols.append("C")
+        coords.append(C)
+        symbols.append("O")
+        coords.append(C + _D["C=O"] * _bisector_away(C, CA, nextN))
+    # C-terminal hydroxyl at the virtual next-N position (C-OH bond length)
+    C_last = bb[-1]["C"]
+    o_dir = _unit(bb[-1]["nextN"] - C_last)
+    Opos = C_last + _D["C-OH"] * o_dir
+    symbols.append("O")
+    coords.append(Opos)
+    symbols.append("H")
+    coords.append(Opos + _D["O-H"] * _unit(o_dir + np.array([0.0, 0.0, 0.9])))
+    # N-terminal second hydrogen
+    N0, CA0 = bb[0]["N"], bb[0]["CA"]
+    h_dir = _unit(_bisector_away(N0, N0 - np.array([1.0, 0, 0]), CA0) * 0.4 - zhat)
+    symbols.append("H")
+    coords.append(N0 + _D["N-H"] * h_dir)
+    return Molecule.from_angstrom(symbols, np.array(coords))
+
+
+def glycine_residue_atoms(n: int) -> list[list[int]]:
+    """Atom-index lists of the n amino-acid monomers of `glycine_chain`.
+
+    Terminal atoms (C-terminal OH, extra N-terminal H) are assigned to
+    the last/first residue respectively.
+    """
+    lists = []
+    per = 7  # N, H, CA, HA1, HA2, C, O
+    for res in range(n):
+        lists.append(list(range(res * per, (res + 1) * per)))
+    lists[-1].extend([n * per, n * per + 1])
+    lists[0].append(n * per + 2)
+    return lists
+
+
+def glycine_fragmented(n: int) -> FragmentedSystem:
+    """Gly_n fragmented into one monomer per amino acid with H-caps
+    across the peptide bonds (exactly the paper's Table III setup)."""
+    mol = glycine_chain(n)
+    return FragmentedSystem.by_atom_lists(mol, glycine_residue_atoms(n))

@@ -1,0 +1,52 @@
+"""Generic crystal-lattice replication and spherical cutting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chem.molecule import Molecule
+from ..constants import BOHR_PER_ANGSTROM
+
+
+def replicate(
+    motifs: list[Molecule],
+    lattice_angstrom: np.ndarray,
+    na: int,
+    nb: int,
+    nc: int,
+) -> list[Molecule]:
+    """Replicate motif molecules over an ``na x nb x nc`` supercell.
+
+    Args:
+        motifs: molecules positioned inside the home cell (Bohr coords).
+        lattice_angstrom: 3x3 row-vector lattice matrix in Angstrom.
+    Returns:
+        One `Molecule` per motif copy.
+    """
+    lat = np.asarray(lattice_angstrom, dtype=float) * BOHR_PER_ANGSTROM
+    out = []
+    for ia in range(na):
+        for ib in range(nb):
+            for ic in range(nc):
+                shift = ia * lat[0] + ib * lat[1] + ic * lat[2]
+                for m in motifs:
+                    out.append(m.translated(shift))
+    return out
+
+
+def sphere_of_molecules(
+    molecules: list[Molecule], radius_angstrom: float
+) -> list[Molecule]:
+    """Keep whole molecules whose centroid lies within the radius of the
+    overall centroid (the paper's 'spherical sections of crystal
+    lattices')."""
+    cents = np.array([m.centroid() for m in molecules])
+    center = cents.mean(axis=0)
+    r = radius_angstrom * BOHR_PER_ANGSTROM
+    keep = np.linalg.norm(cents - center, axis=1) <= r
+    return [m for m, k in zip(molecules, keep) if k]
+
+
+def assemble(molecules: list[Molecule]) -> Molecule:
+    """Union of molecules as one (non-bonded) cluster."""
+    return Molecule.concatenate(molecules)

@@ -1,0 +1,57 @@
+"""Water molecules and clusters (cheap, heavily used in tests)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chem.geometry import rotated
+from ..chem.molecule import Molecule
+from ..constants import BOHR_PER_ANGSTROM
+
+#: experimental-ish monomer geometry (Angstrom)
+_WATER = (
+    ("O", (0.0, 0.0, 0.1173)),
+    ("H", (0.0, 0.7572, -0.4692)),
+    ("H", (0.0, -0.7572, -0.4692)),
+)
+
+
+def water_monomer() -> Molecule:
+    """A single water molecule at a standard geometry."""
+    return Molecule.from_angstrom(
+        [s for s, _ in _WATER], np.array([c for _, c in _WATER])
+    )
+
+
+def water_cluster(n: int, spacing_angstrom: float = 3.1, seed: int = 0) -> Molecule:
+    """A cluster of ``n`` waters on a jittered cubic grid with random
+    orientations — a stand-in for liquid-like clusters (the paper's
+    reference AIMD benchmark systems are water clusters of this kind)."""
+    rng = np.random.default_rng(seed)
+    k = int(np.ceil(n ** (1.0 / 3.0)))
+    mono = water_monomer()
+    mols = []
+    count = 0
+    for i in range(k):
+        for j in range(k):
+            for l in range(k):
+                if count >= n:
+                    break
+                shift = (
+                    np.array([i, j, l], dtype=float) * spacing_angstrom
+                    + rng.uniform(-0.15, 0.15, 3)
+                ) * BOHR_PER_ANGSTROM
+                axis = rng.standard_normal(3)
+                angle = rng.uniform(0, 2 * np.pi)
+                mols.append(rotated(mono, axis, angle).translated(shift))
+                count += 1
+    return Molecule.concatenate(mols)
+
+
+def water_dimer(separation_angstrom: float = 2.97) -> Molecule:
+    """Hydrogen-bonded-ish water dimer at a given O-O separation."""
+    m1 = water_monomer()
+    m2 = water_monomer().translated(
+        np.array([separation_angstrom, 0.0, 0.0]) * BOHR_PER_ANGSTROM
+    )
+    return Molecule.concatenate([m1, m2])

@@ -1,0 +1,81 @@
+"""Harmonic vibrational analysis (seminumerical Hessian).
+
+The Hessian is built by central finite differences of the *analytic*
+gradient — the standard approach when only first derivatives are
+implemented — then mass-weighted and diagonalized for harmonic
+frequencies and normal modes. Rigid translations (and rotations, at a
+stationary geometry) appear as near-zero modes, which the tests use as
+an end-to-end check of the gradient engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .chem.molecule import Molecule
+
+#: conversion: sqrt(Hartree / (Bohr^2 * m_e)) -> cm^-1
+_AU_TO_CM1 = 219474.631363 / (2.0 * np.pi) * np.sqrt(1.0) / 5140.48727797 * (
+    2.0 * np.pi
+)
+# simpler: omega_au * 219474.63 gives cm^-1 when omega in sqrt(Eh/(me a0^2))
+_HARTREE_TO_CM1 = 219474.631363
+
+
+@dataclass
+class VibrationalAnalysis:
+    """Harmonic frequencies and normal modes."""
+
+    frequencies_cm1: np.ndarray  # signed: imaginary modes negative
+    modes: np.ndarray  # (nmodes, natoms, 3), mass-weighted, orthonormal
+    hessian: np.ndarray  # (3N, 3N) Cartesian, Ha/Bohr^2
+
+    def n_imaginary(self, threshold_cm1: float = 30.0) -> int:
+        """Count of imaginary (negative) modes beyond the threshold."""
+        return int(np.sum(self.frequencies_cm1 < -threshold_cm1))
+
+    def n_zero_modes(self, threshold_cm1: float = 30.0) -> int:
+        """Count of near-zero modes (translations/rotations)."""
+        return int(np.sum(np.abs(self.frequencies_cm1) < threshold_cm1))
+
+
+def numerical_hessian(
+    mol: Molecule, calculator, step_bohr: float = 5.0e-3
+) -> np.ndarray:
+    """Central-difference Hessian from analytic gradients, symmetrized."""
+    n = mol.natoms
+    H = np.zeros((3 * n, 3 * n))
+    for a in range(n):
+        for x in range(3):
+            cp = mol.coords.copy()
+            cp[a, x] += step_bohr
+            cm = mol.coords.copy()
+            cm[a, x] -= step_bohr
+            _, gp = calculator.energy_gradient(mol.with_coords(cp))
+            _, gm = calculator.energy_gradient(mol.with_coords(cm))
+            H[3 * a + x] = ((gp - gm) / (2.0 * step_bohr)).ravel()
+    return 0.5 * (H + H.T)
+
+
+def harmonic_analysis(
+    mol: Molecule, calculator, step_bohr: float = 5.0e-3
+) -> VibrationalAnalysis:
+    """Mass-weighted normal-mode analysis at the current geometry."""
+    H = numerical_hessian(mol, calculator, step_bohr=step_bohr)
+    m = np.repeat(mol.masses_au, 3)
+    Hmw = H / np.sqrt(np.outer(m, m))
+    w2, V = np.linalg.eigh(Hmw)
+    # frequencies in cm^-1; negative eigenvalues -> imaginary (signed -)
+    freqs = np.sign(w2) * np.sqrt(np.abs(w2)) * _HARTREE_TO_CM1
+    n = mol.natoms
+    modes = V.T.reshape(-1, n, 3)
+    return VibrationalAnalysis(frequencies_cm1=freqs, modes=modes, hessian=H)
+
+
+def zero_point_energy(analysis: VibrationalAnalysis) -> float:
+    """Harmonic ZPE (Hartree) from the real vibrational modes."""
+    freqs = analysis.frequencies_cm1
+    vib = freqs[freqs > 30.0]
+    return float(0.5 * np.sum(vib) / _HARTREE_TO_CM1)

@@ -1,0 +1,59 @@
+"""Shared fixtures: small validated molecules and SCF references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chem import Molecule
+
+
+@pytest.fixture(scope="session")
+def h2() -> Molecule:
+    """H2 at the Szabo-Ostlund geometry (1.4 Bohr)."""
+    return Molecule(["H", "H"], [[0, 0, 0], [0, 0, 1.4]])
+
+
+@pytest.fixture(scope="session")
+def h2_bent() -> Molecule:
+    """H2 displaced off-axis so no gradient component vanishes."""
+    return Molecule(["H", "H"], [[0, 0.05, 0], [0.03, 0, 1.45]])
+
+
+@pytest.fixture(scope="session")
+def hehp() -> Molecule:
+    """HeH+ at 1.4632 Bohr (Szabo-Ostlund)."""
+    return Molecule(["He", "H"], [[0, 0, 0], [0, 0, 1.4632]], charge=1)
+
+
+@pytest.fixture(scope="session")
+def water() -> Molecule:
+    """Water at a standard experimental-ish geometry."""
+    return Molecule.from_angstrom(
+        ["O", "H", "H"],
+        [[0.0, 0.0, 0.1173], [0.0, 0.7572, -0.4692], [0.0, -0.7572, -0.4692]],
+    )
+
+
+@pytest.fixture(scope="session")
+def water_distorted() -> Molecule:
+    """Symmetry-broken water so every gradient component is nonzero."""
+    return Molecule.from_angstrom(
+        ["O", "H", "H"],
+        [[0.0, 0.05, 0.1173], [0.02, 0.7572, -0.4692], [0.0, -0.7572, -0.48]],
+    )
+
+
+def finite_difference_gradient(energy_fn, mol: Molecule, h: float = 2.0e-4) -> np.ndarray:
+    """Central finite-difference gradient of ``energy_fn(mol) -> float``."""
+    g = np.zeros((mol.natoms, 3))
+    for a in range(mol.natoms):
+        for x in range(3):
+            cp = mol.coords.copy()
+            cp[a, x] += h
+            cm = mol.coords.copy()
+            cm[a, x] -= h
+            g[a, x] = (
+                energy_fn(mol.with_coords(cp)) - energy_fn(mol.with_coords(cm))
+            ) / (2 * h)
+    return g

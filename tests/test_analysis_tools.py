@@ -1,0 +1,106 @@
+"""Population analysis, MBE decomposition, and VACF spectra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    dominant_frequency_cm1,
+    mbe_decomposition,
+    mulliken_charges,
+    mulliken_mp2_charges,
+    velocity_autocorrelation,
+)
+from repro.calculators import PairwisePotentialCalculator
+from repro.chem import Molecule
+from repro.frag import FragmentedSystem
+from repro.md import run_aimd
+from repro.scf import rhf
+from repro.systems import water_cluster, water_monomer
+from repro.vibrations import harmonic_analysis
+
+
+class TestMulliken:
+    def test_charges_sum_to_molecular_charge(self, water):
+        res = rhf(water, "sto-3g", ri=True)
+        q = mulliken_charges(res)
+        assert q.sum() == pytest.approx(0.0, abs=1e-10)
+
+    def test_water_polarity(self, water):
+        res = rhf(water, "sto-3g", ri=True)
+        q = mulliken_charges(res)
+        assert q[0] < 0  # oxygen negative
+        assert q[1] > 0 and q[2] > 0
+        assert q[1] == pytest.approx(q[2], abs=1e-8)  # symmetry
+
+    def test_cation_charges(self, water):
+        cation = Molecule(water.symbols, water.coords, charge=2)
+        res = rhf(cation, "sto-3g", ri=True)
+        q = mulliken_charges(res)
+        assert q.sum() == pytest.approx(2.0, abs=1e-10)
+
+    def test_mp2_relaxed_charges(self, water):
+        res = rhf(water, "sto-3g", ri=True)
+        q_hf = mulliken_charges(res)
+        q_mp2 = mulliken_mp2_charges(res)
+        assert q_mp2.sum() == pytest.approx(0.0, abs=1e-9)
+        # correlation reduces HF's overpolarization
+        assert abs(q_mp2[0]) < abs(q_hf[0])
+
+
+class TestMBEDecomposition:
+    def test_two_body_exhausts_pairwise_potential(self):
+        mol = water_cluster(4, seed=3)
+        fs = FragmentedSystem.by_components(mol)
+        calc = PairwisePotentialCalculator()
+        dec = mbe_decomposition(fs, calc, 1e9, 1e9, order=3)
+        exact, _ = calc.energy_gradient(mol)
+        assert dec.total == pytest.approx(exact, abs=1e-9)
+        assert abs(dec.three_body) < 1e-10  # strictly pairwise
+
+    def test_three_body_detected(self):
+        mol = water_cluster(3, seed=5)
+        fs = FragmentedSystem.by_components(mol)
+        calc = PairwisePotentialCalculator(at_strength=20.0)
+        dec = mbe_decomposition(fs, calc, 1e9, 1e9, order=3)
+        assert abs(dec.three_body) > 1e-9
+        exact, _ = calc.energy_gradient(mol)
+        assert dec.total == pytest.approx(exact, abs=1e-8)
+
+    def test_table_renders(self):
+        mol = water_cluster(3, seed=5)
+        fs = FragmentedSystem.by_components(mol)
+        calc = PairwisePotentialCalculator()
+        dec = mbe_decomposition(fs, calc, 1e9, 1e9, order=3)
+        out = dec.table(fs.nmonomers)
+        assert "1-body" in out and "3-body" in out
+
+
+class TestSpectra:
+    def test_vacf_starts_at_one(self):
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal((100, 4, 3))
+        c = velocity_autocorrelation(v)
+        assert c[0] == pytest.approx(1.0)
+
+    def test_vacf_zero_velocities(self):
+        c = velocity_autocorrelation(np.zeros((50, 2, 3)))
+        np.testing.assert_array_equal(c, 0.0)
+
+    def test_diatomic_peak_matches_hessian(self):
+        """MD power spectrum of a stretched diatomic peaks at the
+        harmonic frequency from the independent Hessian analysis."""
+        calc = PairwisePotentialCalculator()
+        mol = Molecule(["H", "H"], [[0, 0, 0], [0, 0, 1.35]])
+        traj = run_aimd(
+            mol, calc, nsteps=3000, dt_fs=0.25,
+            velocities=np.zeros((2, 3)),
+        )
+        peak = dominant_frequency_cm1(
+            np.array(traj.velocities), 0.25, masses=mol.masses_au
+        )
+        eq = mol.with_coords(np.array([[0, 0, 0], [0, 0, 2 * 0.31 * 1.8897]]))
+        va = harmonic_analysis(eq, calc)
+        stretch = va.frequencies_cm1[-1]
+        assert peak == pytest.approx(stretch, rel=0.05)

@@ -1,0 +1,80 @@
+"""Boys function: reference values, recursions, vectorized consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.integrate import quad
+
+from repro.integrals.boys import boys, boys_array
+
+
+def boys_quadrature(m: int, T: float) -> float:
+    val, _ = quad(lambda t: t ** (2 * m) * np.exp(-T * t * t), 0.0, 1.0, limit=200)
+    return val
+
+
+class TestBoysValues:
+    def test_zero_argument(self):
+        F = boys(6, 0.0)
+        for m in range(7):
+            assert F[m] == pytest.approx(1.0 / (2 * m + 1), rel=1e-14)
+
+    def test_f0_closed_form(self):
+        # F_0(T) = sqrt(pi/T)/2 * erf(sqrt(T))
+        from scipy.special import erf
+
+        for T in (0.1, 1.0, 5.0, 20.0, 40.0, 100.0):
+            ref = 0.5 * np.sqrt(np.pi / T) * erf(np.sqrt(T))
+            assert boys(0, T)[0] == pytest.approx(ref, rel=1e-12)
+
+    @pytest.mark.parametrize("T", [1e-8, 1e-3, 0.5, 3.0, 12.0, 34.9, 35.1, 80.0])
+    @pytest.mark.parametrize("m", [0, 1, 3, 6])
+    def test_against_quadrature(self, m, T):
+        assert boys(m, T)[m] == pytest.approx(boys_quadrature(m, T), rel=1e-9, abs=1e-15)
+
+    def test_downward_recursion_consistency(self):
+        # F_{m-1} = (2T F_m + e^{-T}) / (2m - 1)
+        T = 4.7
+        F = boys(8, T)
+        for m in range(8, 0, -1):
+            lhs = F[m - 1]
+            rhs = (2 * T * F[m] + np.exp(-T)) / (2 * m - 1)
+            assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_monotone_decreasing_in_m(self):
+        F = boys(10, 2.5)
+        assert np.all(np.diff(F) < 0)
+
+    def test_monotone_decreasing_in_T(self):
+        Ts = np.linspace(0.0, 50.0, 200)
+        vals = np.array([boys(0, T)[0] for T in Ts])
+        assert np.all(np.diff(vals) < 0)
+
+
+class TestBoysArray:
+    def test_matches_scalar(self):
+        Ts = np.array([0.0, 1e-10, 0.3, 2.0, 17.0, 35.5, 200.0])
+        arr = boys_array(5, Ts)
+        for i, T in enumerate(Ts):
+            ref = boys(5, float(T))
+            np.testing.assert_allclose(arr[i], ref, rtol=1e-11, atol=1e-300)
+
+    @given(st.floats(min_value=0.0, max_value=500.0))
+    @settings(max_examples=80, deadline=None)
+    def test_property_positive_and_bounded(self, T):
+        F = boys_array(4, np.array([T]))[0]
+        assert np.all(F > 0)
+        assert np.all(F <= 1.0 + 1e-12)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=300.0), min_size=1, max_size=20)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_batch_equals_scalar(self, Ts):
+        Ts = np.array(Ts)
+        arr = boys_array(3, Ts)
+        for i, T in enumerate(Ts):
+            np.testing.assert_allclose(arr[i], boys(3, float(T)), rtol=1e-10)

@@ -1,0 +1,127 @@
+"""Calculator implementations: QM engines and the classical surrogate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calculators import (
+    ConventionalHFCalculator,
+    PairwisePotentialCalculator,
+    RIHFCalculator,
+    RIMP2Calculator,
+)
+from repro.systems import water_cluster, water_monomer
+
+
+class TestQMCalculators:
+    def test_rimp2_below_rihf(self):
+        mol = water_monomer()
+        e_hf, _ = RIHFCalculator(basis="sto-3g").energy_gradient(mol)
+        e_mp2, _ = RIMP2Calculator(basis="sto-3g").energy_gradient(mol)
+        assert e_mp2 < e_hf  # correlation lowers the energy
+
+    def test_ri_close_to_conventional(self):
+        mol = water_monomer()
+        e_ri, g_ri = RIHFCalculator(basis="sto-3g").energy_gradient(mol)
+        e_cv, g_cv = ConventionalHFCalculator(basis="sto-3g").energy_gradient(mol)
+        assert abs(e_ri - e_cv) < 2e-3
+        assert np.abs(g_ri - g_cv).max() < 5e-3
+
+    def test_energy_shortcut_consistent(self):
+        mol = water_monomer()
+        calc = RIMP2Calculator(basis="sto-3g")
+        e1, _ = calc.energy_gradient(mol)
+        assert calc.energy(mol) == pytest.approx(e1, abs=1e-9)
+
+
+class TestSurrogate:
+    def test_gradient_fd(self):
+        mol = water_cluster(3, seed=1)
+        calc = PairwisePotentialCalculator()
+        e0, g = calc.energy_gradient(mol)
+        h = 1e-6
+        for a, x in [(0, 0), (4, 1), (8, 2)]:
+            cp = mol.coords.copy()
+            cp[a, x] += h
+            cm = mol.coords.copy()
+            cm[a, x] -= h
+            fd = (
+                calc.energy_gradient(mol.with_coords(cp))[0]
+                - calc.energy_gradient(mol.with_coords(cm))[0]
+            ) / (2 * h)
+            assert g[a, x] == pytest.approx(fd, rel=1e-5, abs=1e-10)
+
+    def test_gradient_fd_with_three_body(self):
+        mol = water_cluster(2, seed=2)
+        calc = PairwisePotentialCalculator(at_strength=2.0)
+        e0, g = calc.energy_gradient(mol)
+        h = 1e-6
+        cp = mol.coords.copy()
+        cp[1, 1] += h
+        cm = mol.coords.copy()
+        cm[1, 1] -= h
+        fd = (
+            calc.energy_gradient(mol.with_coords(cp))[0]
+            - calc.energy_gradient(mol.with_coords(cm))[0]
+        ) / (2 * h)
+        assert g[1, 1] == pytest.approx(fd, rel=1e-4, abs=1e-8)
+
+    def test_translation_invariance(self):
+        mol = water_cluster(3, seed=4)
+        calc = PairwisePotentialCalculator()
+        e1, g1 = calc.energy_gradient(mol)
+        e2, g2 = calc.energy_gradient(mol.translated([2.0, -1.0, 0.5]))
+        assert e2 == pytest.approx(e1, abs=1e-10)
+        np.testing.assert_allclose(g1, g2, atol=1e-10)
+        np.testing.assert_allclose(g1.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_pairwise_additivity_between_monomers(self):
+        """The nonbonded part is strictly pairwise: E(AB) - E(A) - E(B)
+        must equal E(AB) interaction for well-separated monomers and the
+        three-monomer correction must vanish."""
+        from repro.chem import Molecule
+
+        calc = PairwisePotentialCalculator()
+        waters = [water_monomer().translated([i * 8.0, 0, 0]) for i in range(3)]
+        e = {}
+        for key in [(0,), (1,), (2,), (0, 1), (0, 2), (1, 2), (0, 1, 2)]:
+            mol = Molecule.concatenate([waters[i] for i in key])
+            e[key], _ = calc.energy_gradient(mol)
+        d3 = (
+            e[(0, 1, 2)]
+            - e[(0, 1)] - e[(0, 2)] - e[(1, 2)]
+            + e[(0,)] + e[(1,)] + e[(2,)]
+        )
+        assert d3 == pytest.approx(0.0, abs=1e-12)
+
+    def test_three_body_term_breaks_additivity(self):
+        from repro.chem import Molecule
+
+        calc = PairwisePotentialCalculator(at_strength=10.0)
+        waters = [water_monomer().translated([i * 6.0, 0, 0]) for i in range(3)]
+        e = {}
+        for key in [(0,), (1,), (2,), (0, 1), (0, 2), (1, 2), (0, 1, 2)]:
+            mol = Molecule.concatenate([waters[i] for i in key])
+            e[key], _ = calc.energy_gradient(mol)
+        d3 = (
+            e[(0, 1, 2)]
+            - e[(0, 1)] - e[(0, 2)] - e[(1, 2)]
+            + e[(0,)] + e[(1,)] + e[(2,)]
+        )
+        assert abs(d3) > 1e-10
+
+
+class TestSurrogateEnergyFastPath:
+    def test_matches_energy_gradient(self):
+        calc = PairwisePotentialCalculator(at_strength=2.0)
+        mol = water_cluster(3, seed=5)
+        e1, _ = calc.energy_gradient(mol)
+        assert calc.energy(mol) == pytest.approx(e1, abs=1e-12)
+
+    def test_no_three_body(self):
+        calc = PairwisePotentialCalculator()
+        mol = water_cluster(2, seed=3)
+        assert calc.energy(mol) == pytest.approx(
+            calc.energy_gradient(mol)[0], abs=1e-12
+        )

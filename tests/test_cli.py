@@ -1,0 +1,95 @@
+"""Command-line interface smoke and behavior tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chem.xyz import save_xyz
+from repro.cli import build_parser, main
+from repro.systems import water_cluster, water_monomer
+
+
+@pytest.fixture()
+def water_file(tmp_path):
+    p = tmp_path / "water.xyz"
+    save_xyz(water_monomer(), p)
+    return str(p)
+
+
+@pytest.fixture()
+def cluster_file(tmp_path):
+    p = tmp_path / "w3.xyz"
+    save_xyz(water_cluster(3, seed=1), p)
+    return str(p)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_basis_choices(self, water_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scf", water_file, "--basis", "cc-pvqz"])
+
+
+class TestCommands:
+    def test_scf(self, water_file, capsys):
+        assert main(["scf", water_file]) == 0
+        out = capsys.readouterr().out
+        assert "E(SCF)" in out
+        assert "-74.9" in out  # water/STO-3G ballpark
+
+    def test_mp2(self, water_file, capsys):
+        assert main(["mp2", water_file]) == 0
+        out = capsys.readouterr().out
+        assert "E(total)" in out
+
+    def test_mp2_scs(self, water_file, capsys):
+        assert main(["mp2", water_file, "--scs"]) == 0
+        assert "SCS-MP2" in capsys.readouterr().out
+
+    def test_grad(self, water_file, capsys):
+        assert main(["grad", water_file]) == 0
+        out = capsys.readouterr().out
+        assert "gradient RMSD" in out
+
+    def test_aimd_surrogate(self, cluster_file, capsys):
+        rc = main([
+            "aimd", cluster_file, "--surrogate", "--steps", "3",
+            "--r-dimer", "30", "--r-trimer", "15", "--order", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "polymer calculations" in out
+        assert "asynchronous" in out
+
+    def test_aimd_sync_flag(self, cluster_file, capsys):
+        rc = main([
+            "aimd", cluster_file, "--surrogate", "--steps", "2",
+            "--r-dimer", "30", "--r-trimer", "15", "--sync",
+        ])
+        assert rc == 0
+        assert "synchronous" in capsys.readouterr().out
+
+    def test_project(self, capsys):
+        rc = main(["project", "--molecules", "500", "--nodes", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PFLOP/s" in out
+        assert "polymers/step" in out
+
+    def test_opt_writes_output(self, tmp_path, capsys):
+        from repro.chem import Molecule
+
+        p = tmp_path / "h2.xyz"
+        save_xyz(Molecule(["H", "H"], [[0, 0, 0], [0, 0, 1.6]]), p)
+        out_file = tmp_path / "h2_opt.xyz"
+        rc = main(["opt", str(p), "-o", str(out_file)])
+        assert rc == 0
+        assert out_file.exists()
+        assert "converged: True" in capsys.readouterr().out

@@ -1,0 +1,68 @@
+"""ContributionCurve behavior and the Fig. 5 cutoff methodology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calculators import PairwisePotentialCalculator
+from repro.frag import FragmentedSystem
+from repro.frag.cutoffs import (
+    ContributionCurve,
+    dimer_contributions,
+    trimer_contributions,
+)
+from repro.systems import water_cluster
+
+
+class TestContributionCurve:
+    def test_cutoff_picks_last_violation(self):
+        curve = ContributionCurve(
+            distances_angstrom=np.array([2.0, 5.0, 9.0, 14.0]),
+            abs_contributions_kjmol=np.array([10.0, 1.0, 0.05, 0.01]),
+            kind="dimer",
+        )
+        assert curve.cutoff(0.1) == pytest.approx(5.0)
+        assert curve.cutoff(0.02) == pytest.approx(9.0)
+
+    def test_cutoff_zero_when_all_below(self):
+        curve = ContributionCurve(
+            np.array([3.0, 6.0]), np.array([0.001, 0.0005]), "dimer"
+        )
+        assert curve.cutoff(0.1) == 0.0
+
+
+class TestContributionScans:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return FragmentedSystem.by_components(water_cluster(6, seed=19))
+
+    def test_reference_restricts_pairs(self, system):
+        calc = PairwisePotentialCalculator()
+        ref = dimer_contributions(system, calc, reference=2)
+        allp = dimer_contributions(system, calc, reference=None)
+        assert len(ref.distances_angstrom) == system.nmonomers - 1
+        assert len(allp.distances_angstrom) == 15
+
+    def test_rmax_limits_scan(self, system):
+        calc = PairwisePotentialCalculator()
+        near = dimer_contributions(system, calc, reference=0, r_max_angstrom=4.0)
+        far = dimer_contributions(system, calc, reference=0, r_max_angstrom=100.0)
+        assert len(near.distances_angstrom) <= len(far.distances_angstrom)
+        assert (near.distances_angstrom <= 4.0 + 1e-9).all()
+
+    def test_trimer_contributions_vanish_for_pairwise(self, system):
+        """With a strictly pairwise potential, every trimer correction is
+        numerically zero — the Fig. 5 scan must report that."""
+        calc = PairwisePotentialCalculator()
+        tc = trimer_contributions(system, calc, reference=0,
+                                  r_max_angstrom=8.0)
+        if len(tc.abs_contributions_kjmol):
+            assert tc.abs_contributions_kjmol.max() < 1e-8
+
+    def test_trimer_contributions_nonzero_with_three_body(self, system):
+        calc = PairwisePotentialCalculator(at_strength=50.0)
+        tc = trimer_contributions(system, calc, reference=0,
+                                  r_max_angstrom=8.0)
+        assert len(tc.abs_contributions_kjmol) > 0
+        assert tc.abs_contributions_kjmol.max() > 1e-6

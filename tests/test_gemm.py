@@ -1,0 +1,144 @@
+"""GEMM auto-tuner and FLOP accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm import (
+    GLOBAL_COUNTER,
+    GLOBAL_TUNER,
+    VARIANTS,
+    FlopCounter,
+    GemmAutoTuner,
+    count_flops,
+    eigh_gen,
+    gemm,
+    sym_inv,
+    sym_inv_sqrt,
+)
+from repro.gemm.autotune import _gemm_variant
+
+
+class TestVariants:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_all_variants_equal_matmul(self, variant):
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((7, 11))
+        B = rng.standard_normal((11, 5))
+        np.testing.assert_allclose(_gemm_variant(A, B, variant), A @ B, atol=1e-12)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_variants_on_noncontiguous_inputs(self, variant):
+        rng = np.random.default_rng(1)
+        A = rng.standard_normal((20, 14))[::2, ::2]  # strided view
+        B = rng.standard_normal((14, 6))[::2]
+        np.testing.assert_allclose(_gemm_variant(A, B, variant), A @ B, atol=1e-12)
+
+
+class TestAutoTuner:
+    def test_trials_then_cache(self):
+        tuner = GemmAutoTuner()
+        rng = np.random.default_rng(2)
+        A = rng.standard_normal((16, 9))
+        B = rng.standard_normal((9, 12))
+        ref = A @ B
+        for i in range(6):
+            np.testing.assert_allclose(tuner.gemm(A, B), ref, atol=1e-12)
+        key = (16, 9, 12)
+        assert key in tuner.best
+        assert len(tuner.trials[key]) == len(VARIANTS)
+        assert tuner.best[key] in VARIANTS
+
+    def test_best_is_fastest_trial(self):
+        tuner = GemmAutoTuner()
+        A = np.random.default_rng(3).standard_normal((30, 30))
+        for _ in range(4):
+            tuner.gemm(A, A)
+        (key, picked, times), = tuner.report()
+        assert times[picked] == min(times.values())
+
+    def test_disabled_tuner_uses_default(self):
+        tuner = GemmAutoTuner(enabled=False)
+        A = np.eye(4)
+        tuner.gemm(A, A)
+        assert not tuner.trials
+
+    def test_shape_mismatch_raises(self):
+        tuner = GemmAutoTuner()
+        with pytest.raises(ValueError, match="mismatch"):
+            tuner.gemm(np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_reset(self):
+        tuner = GemmAutoTuner()
+        A = np.eye(5)
+        for _ in range(5):
+            tuner.gemm(A, A)
+        tuner.reset()
+        assert not tuner.best and not tuner.trials
+
+
+class TestFlopCounting:
+    def test_gemm_counts_2mnk(self):
+        with count_flops() as c:
+            gemm(np.ones((3, 4)), np.ones((4, 5)))
+        assert c.flops == 2 * 3 * 4 * 5
+        assert c.calls == 1
+
+    def test_counter_accumulates(self):
+        ctr = FlopCounter()
+        ctr.add_gemm(2, 3, 4)
+        ctr.add_gemm(2, 3, 4)
+        assert ctr.flops == 2 * (2 * 3 * 4 * 2)
+        assert ctr.calls == 2
+        assert ctr.by_shape[(2, 4, 3)] == 2
+
+    def test_reset(self):
+        ctr = FlopCounter()
+        ctr.add_gemm(1, 1, 1)
+        ctr.reset()
+        assert ctr.snapshot() == (0, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_flops_lower_bound(self, m, k, n):
+        """The runtime counter is exactly 2mnk per call (paper Sec. VI-C)."""
+        before = GLOBAL_COUNTER.snapshot()[0]
+        gemm(np.zeros((m, k)), np.zeros((k, n)))
+        assert GLOBAL_COUNTER.snapshot()[0] - before == 2 * m * n * k
+
+
+class TestLinalgHelpers:
+    def test_sym_inv_sqrt(self):
+        rng = np.random.default_rng(4)
+        A = rng.standard_normal((8, 8))
+        M = A @ A.T + 8 * np.eye(8)
+        X = sym_inv_sqrt(M)
+        np.testing.assert_allclose(X @ M @ X, np.eye(8), atol=1e-10)
+
+    def test_sym_inv_sqrt_screens_singular(self):
+        M = np.diag([1.0, 1.0, 1e-16])
+        X = sym_inv_sqrt(M)
+        assert np.isfinite(X).all()
+
+    def test_sym_inv(self):
+        rng = np.random.default_rng(5)
+        A = rng.standard_normal((6, 6))
+        M = A @ A.T + 6 * np.eye(6)
+        np.testing.assert_allclose(sym_inv(M) @ M, np.eye(6), atol=1e-9)
+
+    def test_eigh_gen(self):
+        rng = np.random.default_rng(6)
+        A = rng.standard_normal((7, 7))
+        F = A + A.T
+        B = rng.standard_normal((7, 7))
+        S = B @ B.T + 7 * np.eye(7)
+        eps, C = eigh_gen(F, S)
+        np.testing.assert_allclose(F @ C, S @ C @ np.diag(eps), atol=1e-9)
+        np.testing.assert_allclose(C.T @ S @ C, np.eye(7), atol=1e-9)

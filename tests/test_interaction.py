@@ -1,0 +1,113 @@
+"""Counterpoise corrections, pair energies, and the GWH SCF guess."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basis import BasisSet
+from repro.constants import BOHR_PER_ANGSTROM
+from repro.interaction import basis_with_ghosts, counterpoise_interaction
+from repro.mp2 import mp2_ri, pair_energies
+from repro.scf import rhf
+from repro.systems import water_monomer
+
+
+@pytest.fixture(scope="module")
+def cp_result():
+    a = water_monomer()
+    b = water_monomer().translated(np.array([3.0, 0, 0]) * BOHR_PER_ANGSTROM)
+    return counterpoise_interaction(a, b, "sto-3g")
+
+
+class TestGhostBasis:
+    def test_ghosts_enlarge_basis(self):
+        a = water_monomer()
+        b = water_monomer().translated(np.array([3.0, 0, 0]) * BOHR_PER_ANGSTROM)
+        own = BasisSet.build(a, "sto-3g")
+        gb = basis_with_ghosts(a, list(b.symbols), b.coords, "sto-3g")
+        assert gb.nbf == 2 * own.nbf
+
+    def test_ghost_energy_variational(self):
+        """Adding ghost functions can only lower the monomer energy."""
+        from repro.basis.auxiliary import auto_auxiliary
+        from repro.interaction import _aux_with_ghosts
+
+        a = water_monomer()
+        b = water_monomer().translated(np.array([3.0, 0, 0]) * BOHR_PER_ANGSTROM)
+        e_own = rhf(a, "sto-3g", ri=True).energy
+        bs = basis_with_ghosts(a, list(b.symbols), b.coords, "sto-3g")
+        aux = _aux_with_ghosts(a, list(b.symbols), b.coords, "sto-3g")
+        e_ghost = rhf(a, bs, ri=True, aux=aux).energy
+        assert e_ghost < e_own + 1e-10
+
+    def test_ghost_keeps_electron_count(self):
+        a = water_monomer()
+        b = water_monomer().translated(np.array([4.0, 0, 0]) * BOHR_PER_ANGSTROM)
+        from repro.interaction import _aux_with_ghosts
+
+        bs = basis_with_ghosts(a, list(b.symbols), b.coords, "sto-3g")
+        aux = _aux_with_ghosts(a, list(b.symbols), b.coords, "sto-3g")
+        res = rhf(a, bs, ri=True, aux=aux)
+        assert res.nocc == 5  # only the real water's electrons
+
+
+class TestCounterpoise:
+    def test_bsse_negative(self, cp_result):
+        # ghost functions lower the monomer references, so raw < CP
+        assert cp_result.bsse < 0
+
+    def test_bsse_magnitude_reasonable(self, cp_result):
+        from repro.constants import KJMOL_PER_HARTREE
+
+        assert 0.01 < -cp_result.bsse * KJMOL_PER_HARTREE < 50.0
+
+    def test_far_dimer_interaction_vanishes(self):
+        a = water_monomer()
+        b = water_monomer().translated(
+            np.array([40.0, 0, 0]) * BOHR_PER_ANGSTROM
+        )
+        r = counterpoise_interaction(a, b, "sto-3g")
+        assert abs(r.raw) < 1e-4
+        assert abs(r.counterpoise) < 1e-4
+
+
+class TestPairEnergies:
+    def test_sum_equals_correlation(self, water):
+        res = rhf(water, "sto-3g", ri=True)
+        pe = pair_energies(res)
+        assert pe.sum() == pytest.approx(mp2_ri(res).e_corr, abs=1e-12)
+
+    def test_symmetric_nonpositive_diagonal(self, water):
+        res = rhf(water, "sto-3g", ri=True)
+        pe = pair_energies(res)
+        np.testing.assert_allclose(pe, pe.T, atol=1e-12)
+        assert np.all(np.diag(pe) <= 1e-12)
+
+    def test_scs_scaling(self, water):
+        res = rhf(water, "sto-3g", ri=True)
+        from repro.mp2.mp2 import SCS_OS, SCS_SS
+
+        pe = pair_energies(res, c_os=SCS_OS, c_ss=SCS_SS)
+        assert pe.sum() == pytest.approx(
+            mp2_ri(res, c_os=SCS_OS, c_ss=SCS_SS).e_corr, abs=1e-12
+        )
+
+
+class TestSCFGuess:
+    def test_gwh_same_energy_as_core(self, water):
+        e_core = rhf(water, "sto-3g", ri=True, guess="core").energy
+        e_gwh = rhf(water, "sto-3g", ri=True, guess="gwh").energy
+        assert e_gwh == pytest.approx(e_core, abs=1e-10)
+
+    def test_gwh_not_slower_on_bigger_fragments(self):
+        from repro.systems import urea_molecule
+
+        mol = urea_molecule()
+        n_core = rhf(mol, "sto-3g", ri=True, guess="core").niter
+        n_gwh = rhf(mol, "sto-3g", ri=True, guess="gwh").niter
+        assert n_gwh <= n_core
+
+    def test_unknown_guess_raises(self, water):
+        with pytest.raises(ValueError, match="guess"):
+            rhf(water, "sto-3g", ri=True, guess="sad")

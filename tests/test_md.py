@@ -1,0 +1,232 @@
+"""MD: integrators, NVE conservation, async-vs-sync equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calculators import PairwisePotentialCalculator, RIMP2Calculator
+from repro.chem import Molecule
+from repro.constants import BOHR_PER_ANGSTROM
+from repro.frag import FragmentedSystem
+from repro.md import (
+    AsyncCoordinator,
+    run_aimd,
+    run_parallel,
+    run_serial,
+    verlet_step,
+)
+from repro.md.integrators import (
+    instantaneous_temperature,
+    kinetic_energy,
+    maxwell_boltzmann_velocities,
+)
+from repro.systems import fibril_fragmented, water_cluster, water_dimer
+
+BIG = 1.0e6
+
+
+class TestIntegrators:
+    def test_verlet_harmonic_oscillator(self):
+        """1D harmonic oscillator: Verlet conserves energy and tracks the
+        analytic period."""
+        k, m = 1.0, 1.0
+        coords = np.array([[1.0, 0.0, 0.0]])
+        vel = np.zeros((1, 3))
+        masses = np.array([m])
+
+        def force_fn(c):
+            return 0.5 * k * float(c[0, 0] ** 2), np.array([[-k * c[0, 0], 0, 0]])
+
+        e, f = force_fn(coords)
+        dt = 0.05
+        xs = []
+        for _ in range(2000):
+            coords, vel, f, e = verlet_step(coords, vel, f, masses, dt, force_fn)
+            xs.append(coords[0, 0])
+        xs = np.array(xs)
+        e_tot = e + 0.5 * m * float(vel[0, 0] ** 2)
+        assert e_tot == pytest.approx(0.5, abs=1e-4)
+        # period: zero crossings spaced by pi (omega = 1)
+        crossings = np.nonzero(np.diff(np.sign(xs)))[0]
+        period = 2 * np.mean(np.diff(crossings)) * dt
+        assert period == pytest.approx(2 * np.pi, rel=1e-3)
+
+    def test_mb_velocities_com_free(self):
+        masses = np.array([16.0, 1.0, 1.0, 12.0]) * 1822.888
+        v = maxwell_boltzmann_velocities(masses, 300.0, seed=1)
+        p = (v * masses[:, None]).sum(axis=0)
+        np.testing.assert_allclose(p, 0.0, atol=1e-12)
+
+    def test_mb_temperature_statistics(self):
+        masses = np.ones(500) * 1822.888
+        v = maxwell_boltzmann_velocities(masses, 250.0, seed=2)
+        T = instantaneous_temperature(masses, v)
+        assert T == pytest.approx(250.0, rel=0.1)
+
+    def test_kinetic_energy_positive(self):
+        masses = np.ones(3)
+        v = np.ones((3, 3))
+        assert kinetic_energy(masses, v) == pytest.approx(0.5 * 9)
+
+
+@pytest.fixture(scope="module")
+def w6_system():
+    mol = water_cluster(6, seed=2)
+    return FragmentedSystem.by_components(mol)
+
+
+@pytest.fixture(scope="module")
+def surrogate():
+    return PairwisePotentialCalculator()
+
+
+class TestSynchronousAIMD:
+    def test_nve_conservation(self, w6_system, surrogate):
+        traj = run_aimd(
+            w6_system, surrogate, nsteps=60, dt_fs=0.5,
+            r_dimer_bohr=BIG, mbe_order=2, temperature_k=150, seed=4,
+        )
+        tot = traj.total
+        assert np.abs(tot - tot[0]).max() < 1e-3
+        assert abs(traj.energy_drift()) < 1e-5
+
+    def test_unfragmented_molecule_path(self, surrogate):
+        mol = water_cluster(2, seed=0)
+        traj = run_aimd(mol, surrogate, nsteps=10, dt_fs=0.5, temperature_k=100)
+        assert len(traj.times_fs) == 11
+        tot = traj.total
+        assert np.abs(tot - tot[0]).max() < 1e-4
+
+    def test_fragmented_matches_unfragmented(self, surrogate):
+        """MBE2 with full cutoffs is exact for the pairwise surrogate, so
+        the fragmented trajectory must equal the whole-system one."""
+        mol = water_cluster(4, seed=6)
+        fs = FragmentedSystem.by_components(mol)
+        t1 = run_aimd(mol, surrogate, nsteps=8, dt_fs=0.5, temperature_k=120, seed=3)
+        t2 = run_aimd(
+            fs, surrogate, nsteps=8, dt_fs=0.5, r_dimer_bohr=BIG,
+            mbe_order=2, temperature_k=120, seed=3,
+        )
+        np.testing.assert_allclose(t1.coords[-1], t2.coords[-1], atol=1e-9)
+        np.testing.assert_allclose(t1.total, t2.total, atol=1e-9)
+
+    def test_trajectory_metrics(self, w6_system, surrogate):
+        traj = run_aimd(
+            w6_system, surrogate, nsteps=5, dt_fs=0.5,
+            r_dimer_bohr=BIG, mbe_order=2, temperature_k=50, seed=1,
+        )
+        assert len(traj.wall_times) == 5
+        assert traj.energy_fluctuation() >= 0
+
+
+class TestAsyncCoordinator:
+    def _matched_pair(self, system, calc, nsteps=20, replan=5, sync=False, order=2):
+        v0 = maxwell_boltzmann_velocities(system.parent.masses_au, 150, seed=4)
+        traj = run_aimd(
+            system, calc, nsteps=nsteps, dt_fs=0.5, r_dimer_bohr=BIG,
+            r_trimer_bohr=BIG, mbe_order=order, velocities=v0,
+        )
+        co = AsyncCoordinator(
+            system, nsteps=nsteps, dt_fs=0.5, r_dimer_bohr=BIG,
+            r_trimer_bohr=BIG, mbe_order=order, velocities=v0,
+            replan_interval=replan, synchronous=sync,
+        )
+        run_serial(co, calc)
+        return traj, co
+
+    def test_async_reproduces_sync_trajectory(self, w6_system, surrogate):
+        traj, co = self._matched_pair(w6_system, surrogate)
+        t, pe, ke = co.trajectory_energies()
+        assert len(t) == 21
+        np.testing.assert_allclose(pe, traj.potential, atol=1e-10)
+        np.testing.assert_allclose(ke, traj.kinetic, atol=1e-10)
+
+    def test_sync_mode_also_matches(self, w6_system, surrogate):
+        traj, co = self._matched_pair(w6_system, surrogate, sync=True)
+        t, pe, ke = co.trajectory_energies()
+        np.testing.assert_allclose(pe, traj.potential, atol=1e-10)
+
+    def test_mbe3_async(self, surrogate):
+        mol = water_cluster(4, seed=8)
+        fs = FragmentedSystem.by_components(mol)
+        calc = PairwisePotentialCalculator(at_strength=0.5)
+        traj, co = self._matched_pair(fs, calc, nsteps=10, order=3)
+        t, pe, ke = co.trajectory_energies()
+        np.testing.assert_allclose(pe, traj.potential, atol=1e-9)
+
+    def test_capped_system_async(self, surrogate):
+        """Fibril with H-caps: async must respect cap dependencies and
+        still match the synchronous reference."""
+        fs = fibril_fragmented(nstrands=2, residues_per_strand=3)
+        traj, co = self._matched_pair(fs, surrogate, nsteps=10, replan=3)
+        t, pe, ke = co.trajectory_energies()
+        np.testing.assert_allclose(pe, traj.potential, atol=1e-9)
+        np.testing.assert_allclose(ke, traj.kinetic, atol=1e-9)
+
+    def test_all_monomers_finish(self, w6_system, surrogate):
+        _, co = self._matched_pair(w6_system, surrogate, nsteps=7)
+        assert co.done()
+        assert (co.monomer_time == 7).all()
+
+    def test_tasks_each_computed_once(self, w6_system, surrogate):
+        _, co = self._matched_pair(w6_system, surrogate, nsteps=5)
+        # 6 monomers + 15 dimers per step, 6 evaluation steps (0..5)
+        assert co.tasks_issued == (6 + 15) * 6
+
+    def test_energy_conservation_async(self, w6_system, surrogate):
+        _, co = self._matched_pair(w6_system, surrogate, nsteps=40)
+        t, pe, ke = co.trajectory_energies()
+        tot = pe + ke
+        assert np.abs(tot - tot[0]).max() < 1e-3
+
+    def test_parallel_driver_matches_serial(self, w6_system, surrogate):
+        v0 = maxwell_boltzmann_velocities(w6_system.parent.masses_au, 150, seed=4)
+        kw = dict(
+            nsteps=6, dt_fs=0.5, r_dimer_bohr=BIG, r_trimer_bohr=BIG,
+            mbe_order=2, velocities=v0, replan_interval=3,
+        )
+        c1 = AsyncCoordinator(w6_system, **kw)
+        run_serial(c1, surrogate)
+        c2 = AsyncCoordinator(w6_system, **kw)
+        run_parallel(c2, surrogate, nworkers=3)
+        _, pe1, ke1 = c1.trajectory_energies()
+        _, pe2, ke2 = c2.trajectory_energies()
+        np.testing.assert_allclose(pe1, pe2, atol=1e-10)
+        np.testing.assert_allclose(ke1, ke2, atol=1e-10)
+
+    def test_priority_orders_by_reference_distance(self, w6_system):
+        co = AsyncCoordinator(
+            w6_system, nsteps=1, dt_fs=0.5, r_dimer_bohr=BIG, mbe_order=2,
+            temperature_k=100,
+        )
+        d_prev = -1.0
+        while co.has_ready_tasks():
+            task = co.next_task()
+            assert task.distance >= d_prev - 1e-12
+            d_prev = task.distance
+
+    def test_reference_is_extremity(self, w6_system):
+        co = AsyncCoordinator(
+            w6_system, nsteps=1, dt_fs=0.5, r_dimer_bohr=BIG, mbe_order=2,
+        )
+        cents = w6_system.centroids()
+        d = np.linalg.norm(cents - cents.mean(axis=0), axis=1)
+        assert co.reference == int(np.argmax(d))
+
+
+class TestQuantumNVE:
+    @pytest.mark.slow
+    def test_water_dimer_mbe2_conservation(self):
+        """Real RI-MP2 forces: short NVE run on a water dimer, fragmented,
+        must conserve total energy (paper Fig. 6 methodology)."""
+        mol = water_dimer()
+        fs = FragmentedSystem.by_components(mol)
+        calc = RIMP2Calculator(basis="sto-3g")
+        traj = run_aimd(
+            fs, calc, nsteps=6, dt_fs=0.25, r_dimer_bohr=BIG,
+            mbe_order=2, temperature_k=100, seed=5,
+        )
+        tot = traj.total
+        # Verlet fluctuation at dt=0.25 fs; exact forces keep it bounded
+        assert np.abs(tot - tot[0]).max() < 1.5e-4

@@ -1,0 +1,160 @@
+"""Thermostats, trajectory IO, and the smooth-switching MD path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calculators import PairwisePotentialCalculator
+from repro.constants import BOHR_PER_ANGSTROM
+from repro.frag import FragmentedSystem
+from repro.md import (
+    BerendsenThermostat,
+    LangevinThermostat,
+    read_trajectory_xyz,
+    run_aimd,
+    write_trajectory_xyz,
+)
+from repro.md.integrators import (
+    instantaneous_temperature,
+    maxwell_boltzmann_velocities,
+)
+from repro.systems import water_cluster
+
+
+class TestThermostats:
+    def test_berendsen_drives_to_target(self):
+        masses = np.ones(50) * 1837.0
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal((50, 3)) * 1e-4  # hot start
+        th = BerendsenThermostat(temperature_k=300.0, tau_fs=10.0)
+        temps = []
+        for _ in range(400):
+            v = th.apply(v, masses, dt_fs=1.0)
+            temps.append(instantaneous_temperature(masses, v))
+        assert temps[-1] == pytest.approx(300.0, rel=0.05)
+
+    def test_berendsen_zero_velocity_safe(self):
+        masses = np.ones(3) * 1837.0
+        v = np.zeros((3, 3))
+        th = BerendsenThermostat(temperature_k=300.0)
+        out = th.apply(v, masses, 1.0)
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_langevin_equilibrates(self):
+        masses = np.ones(200) * 1837.0
+        v = np.zeros((200, 3))
+        th = LangevinThermostat(temperature_k=250.0, friction_per_fs=0.05, seed=1)
+        temps = []
+        for _ in range(600):
+            v = th.apply(v, masses, dt_fs=1.0)
+            temps.append(instantaneous_temperature(masses, v))
+        # long-time average near the target
+        assert np.mean(temps[300:]) == pytest.approx(250.0, rel=0.1)
+
+    def test_langevin_deterministic_with_seed(self):
+        masses = np.ones(5) * 1837.0
+        v0 = np.ones((5, 3)) * 1e-4
+        a = LangevinThermostat(300.0, seed=7).apply(v0.copy(), masses, 1.0)
+        b = LangevinThermostat(300.0, seed=7).apply(v0.copy(), masses, 1.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_nvt_md_holds_temperature(self):
+        mol = water_cluster(5, seed=3)
+        fs = FragmentedSystem.by_components(mol)
+        calc = PairwisePotentialCalculator()
+        th = BerendsenThermostat(temperature_k=200.0, tau_fs=5.0)
+        traj = run_aimd(
+            fs, calc, nsteps=80, dt_fs=0.5, r_dimer_bohr=1e9, mbe_order=2,
+            temperature_k=400.0, seed=2, thermostat=th,
+        )
+        masses = mol.masses_au
+        # kinetic temperature of late frames pulled toward 200 K
+        ke_late = np.mean(traj.kinetic[-20:])
+        t_late = 2 * ke_late / (3 * mol.natoms * 3.166811563e-6)
+        assert t_late < 330.0
+
+
+class TestTrajectoryIO:
+    def test_roundtrip(self, tmp_path):
+        mol = water_cluster(2, seed=1)
+        calc = PairwisePotentialCalculator()
+        traj = run_aimd(mol, calc, nsteps=5, dt_fs=0.5, temperature_k=100)
+        path = tmp_path / "traj.xyz"
+        write_trajectory_xyz(traj, mol, path)
+        mol2, back = read_trajectory_xyz(path)
+        assert mol2.symbols == mol.symbols
+        assert len(back.times_fs) == 6
+        np.testing.assert_allclose(back.times_fs, traj.times_fs, atol=1e-9)
+        np.testing.assert_allclose(back.potential, traj.potential, atol=1e-9)
+        np.testing.assert_allclose(back.kinetic, traj.kinetic, atol=1e-9)
+        np.testing.assert_allclose(back.coords[3], traj.coords[3], atol=1e-7)
+
+    def test_empty_file_raises(self, tmp_path):
+        p = tmp_path / "empty.xyz"
+        p.write_text("")
+        with pytest.raises(ValueError):
+            read_trajectory_xyz(p)
+
+
+class TestSmoothSwitchingMD:
+    def test_runs_and_conserves(self):
+        mol = water_cluster(4, seed=6)
+        fs = FragmentedSystem.by_components(mol)
+        calc = PairwisePotentialCalculator()
+        traj = run_aimd(
+            fs, calc, nsteps=40, dt_fs=0.5,
+            r_dimer_bohr=6.0 * BOHR_PER_ANGSTROM, mbe_order=2,
+            temperature_k=150, seed=4, smooth_switching=True,
+        )
+        tot = traj.total
+        assert np.abs(tot - tot[0]).max() < 2e-3
+
+    def test_matches_hard_cutoff_when_all_inside(self):
+        """With every pair well inside r_on the switch is identically 1
+        and both paths produce the same trajectory."""
+        mol = water_cluster(3, seed=8)
+        fs = FragmentedSystem.by_components(mol)
+        calc = PairwisePotentialCalculator()
+        v0 = maxwell_boltzmann_velocities(mol.masses_au, 100, seed=9)
+        kw = dict(nsteps=10, dt_fs=0.5, r_dimer_bohr=1e9, mbe_order=2,
+                  velocities=v0)
+        hard = run_aimd(fs, calc, **kw)
+        smooth = run_aimd(fs, calc, smooth_switching=True, **kw)
+        np.testing.assert_allclose(smooth.total, hard.total, atol=1e-10)
+        np.testing.assert_allclose(
+            smooth.coords[-1], hard.coords[-1], atol=1e-10
+        )
+
+
+class TestRestart:
+    def test_split_run_equals_unbroken(self, tmp_path):
+        """10 steps = 5 steps + restart + 5 steps, bit-for-bit (NVE Verlet
+        is deterministic)."""
+        from repro.md import load_restart, save_restart
+
+        mol = water_cluster(3, seed=12)
+        fs = FragmentedSystem.by_components(mol)
+        calc = PairwisePotentialCalculator()
+        v0 = maxwell_boltzmann_velocities(mol.masses_au, 150, seed=1)
+        kw = dict(dt_fs=0.5, r_dimer_bohr=1e9, mbe_order=2)
+        full = run_aimd(fs, calc, nsteps=10, velocities=v0, **kw)
+        first = run_aimd(fs, calc, nsteps=5, velocities=v0, **kw)
+        ckpt = tmp_path / "restart.npz"
+        save_restart(ckpt, first)
+        coords, vel, t0 = load_restart(ckpt)
+        assert t0 == pytest.approx(2.5)
+        second = run_aimd(
+            fs, calc, nsteps=5, velocities=vel, coords0=coords, **kw
+        )
+        np.testing.assert_allclose(second.coords[-1], full.coords[-1], atol=1e-12)
+        np.testing.assert_allclose(
+            second.potential[-1], full.potential[-1], atol=1e-12
+        )
+
+    def test_empty_trajectory_raises(self, tmp_path):
+        from repro.md import save_restart
+        from repro.md.aimd import Trajectory
+
+        with pytest.raises(ValueError):
+            save_restart(tmp_path / "x.npz", Trajectory())

@@ -1,0 +1,105 @@
+"""Geometry optimization and harmonic vibrational analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calculators import PairwisePotentialCalculator, RIMP2Calculator
+from repro.chem import Molecule
+from repro.constants import GRADIENT_RMSD_THRESHOLD
+from repro.frag import FragmentedSystem
+from repro.opt import optimize
+from repro.systems import water_cluster, water_monomer
+from repro.vibrations import (
+    harmonic_analysis,
+    numerical_hessian,
+    zero_point_energy,
+)
+
+
+class TestOptimization:
+    def test_h2_mp2_bond_length(self):
+        calc = RIMP2Calculator(basis="sto-3g")
+        mol = Molecule(["H", "H"], [[0, 0, 0], [0, 0, 1.6]])
+        res = optimize(mol, calc)
+        assert res.converged
+        assert res.gradient_rmsd < GRADIENT_RMSD_THRESHOLD
+        # STO-3G MP2 H2 equilibrium is ~1.37 Bohr
+        assert res.molecule.distance(0, 1) == pytest.approx(1.37, abs=0.02)
+        # energy decreased monotonically overall
+        assert res.energy < res.energies[0]
+
+    def test_water_hf_geometry(self):
+        from repro.calculators import RIHFCalculator
+
+        calc = RIHFCalculator(basis="sto-3g")
+        res = optimize(water_monomer(), calc)
+        assert res.converged
+        # STO-3G water: r(OH) ~ 0.99 A = 1.87 Bohr, angle ~ 100 deg
+        r1 = res.molecule.distance(0, 1)
+        r2 = res.molecule.distance(0, 2)
+        assert r1 == pytest.approx(r2, abs=1e-3)
+        assert 1.7 < r1 < 2.0
+        v1 = res.molecule.coords[1] - res.molecule.coords[0]
+        v2 = res.molecule.coords[2] - res.molecule.coords[0]
+        ang = np.degrees(
+            np.arccos(v1 @ v2 / np.linalg.norm(v1) / np.linalg.norm(v2))
+        )
+        assert 95 < ang < 110
+
+    def test_fragmented_optimization(self):
+        mol = water_cluster(3, seed=2)
+        fs = FragmentedSystem.by_components(mol)
+        calc = PairwisePotentialCalculator()
+        res = optimize(
+            fs, calc, r_dimer_bohr=1e9, mbe_order=2, max_iter=400,
+        )
+        assert res.converged
+        assert res.gradient_rmsd < GRADIENT_RMSD_THRESHOLD
+
+    def test_max_iter_respected(self):
+        calc = PairwisePotentialCalculator()
+        mol = water_cluster(2, seed=4)
+        res = optimize(mol, calc, max_iter=1, gtol_rmsd=1e-12)
+        assert not res.converged
+
+
+class TestVibrations:
+    @pytest.fixture(scope="class")
+    def h2_analysis(self):
+        calc = RIMP2Calculator(basis="sto-3g")
+        mol = Molecule(["H", "H"], [[0, 0, 0], [0, 0, 1.6]])
+        opt = optimize(mol, calc)
+        return harmonic_analysis(opt.molecule, calc)
+
+    def test_hessian_symmetric(self):
+        calc = PairwisePotentialCalculator()
+        mol = water_cluster(2, seed=5)
+        H = numerical_hessian(mol, calc)
+        np.testing.assert_allclose(H, H.T, atol=1e-10)
+
+    def test_h2_mode_count(self, h2_analysis):
+        # diatomic: 3 translations + 2 rotations ~ 0, one real stretch
+        assert h2_analysis.n_zero_modes(threshold_cm1=50.0) == 5
+        assert h2_analysis.n_imaginary() == 0
+        assert len(h2_analysis.frequencies_cm1) == 6
+
+    def test_h2_stretch_frequency(self, h2_analysis):
+        stretch = h2_analysis.frequencies_cm1[-1]
+        # H2 harmonic frequency ~4400 cm-1 experimentally; STO-3G/MP2
+        # overestimates — accept a broad physical window
+        assert 3500 < stretch < 6500
+
+    def test_zero_point_energy(self, h2_analysis):
+        zpe = zero_point_energy(h2_analysis)
+        stretch = h2_analysis.frequencies_cm1[-1]
+        assert zpe == pytest.approx(0.5 * stretch / 219474.631363, rel=1e-6)
+
+    def test_displaced_geometry_has_imaginary_mode(self):
+        """A clearly stretched H2 lies on the repulsive wall's far side
+        of the inflection: the Hessian eigenvalue goes negative."""
+        calc = RIMP2Calculator(basis="sto-3g")
+        mol = Molecule(["H", "H"], [[0, 0, 0], [0, 0, 2.6]])
+        va = harmonic_analysis(mol, calc)
+        assert va.n_imaginary() >= 1

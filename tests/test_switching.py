@@ -1,0 +1,156 @@
+"""Smooth polymer-cutoff switching (paper future work, implemented)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calculators import PairwisePotentialCalculator
+from repro.constants import BOHR_PER_ANGSTROM
+from repro.frag import (
+    FragmentedSystem,
+    build_plan,
+    mbe_energy_gradient,
+    mbe_energy_gradient_switched,
+    smoothstep,
+)
+from repro.systems import water_cluster
+
+A = BOHR_PER_ANGSTROM
+
+
+class TestSmoothstep:
+    def test_endpoints(self):
+        assert smoothstep(1.0, 2.0, 4.0) == (1.0, 0.0)
+        assert smoothstep(4.0, 2.0, 4.0) == (0.0, 0.0)
+        assert smoothstep(9.0, 2.0, 4.0) == (0.0, 0.0)
+
+    def test_midpoint(self):
+        s, ds = smoothstep(3.0, 2.0, 4.0)
+        assert s == pytest.approx(0.5)
+        assert ds < 0
+
+    def test_monotone_decreasing(self):
+        rs = np.linspace(2.0, 4.0, 50)
+        vals = [smoothstep(r, 2.0, 4.0)[0] for r in rs]
+        assert all(a >= b - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_derivative_fd(self):
+        h = 1e-7
+        for r in (2.3, 3.0, 3.9):
+            s_p = smoothstep(r + h, 2.0, 4.0)[0]
+            s_m = smoothstep(r - h, 2.0, 4.0)[0]
+            ds = smoothstep(r, 2.0, 4.0)[1]
+            assert ds == pytest.approx((s_p - s_m) / (2 * h), abs=1e-6)
+
+    def test_c1_at_edges(self):
+        # derivative approaches zero at both ends (C2 switch)
+        assert smoothstep(2.0 + 1e-7, 2.0, 4.0)[1] == pytest.approx(0.0, abs=1e-5)
+        assert smoothstep(4.0 - 1e-7, 2.0, 4.0)[1] == pytest.approx(0.0, abs=1e-5)
+
+
+class TestSwitchedMBE:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return FragmentedSystem.by_components(water_cluster(5, seed=17))
+
+    @pytest.fixture(scope="class")
+    def calc(self):
+        return PairwisePotentialCalculator(at_strength=3.0)
+
+    def test_reduces_to_hard_mbe_inside_ron(self, system, calc):
+        """With r_on beyond every pair distance, switching is inactive and
+        the result equals the hard-cutoff MBE."""
+        plan = build_plan(system, 1e9, 1e9, order=3)
+        e_hard, g_hard = mbe_energy_gradient(system, plan, calc)
+        e_sw, g_sw = mbe_energy_gradient_switched(
+            system, calc, r_on_dimer=1e8, r_cut_dimer=1e9,
+            r_on_trimer=1e8, r_cut_trimer=1e9, order=3,
+        )
+        assert e_sw == pytest.approx(e_hard, abs=1e-10)
+        np.testing.assert_allclose(g_sw, g_hard, atol=1e-10)
+
+    def test_gradient_fd_in_switch_region(self, system, calc):
+        kw = dict(
+            r_on_dimer=4.0 * A, r_cut_dimer=7.0 * A,
+            r_on_trimer=4.0 * A, r_cut_trimer=6.5 * A, order=3,
+        )
+        e0, g = mbe_energy_gradient_switched(system, calc, **kw)
+        mol = system.parent
+        h = 1e-5
+        for a, x in [(0, 0), (4, 1), (9, 2), (14, 0)]:
+            cp = mol.coords.copy()
+            cp[a, x] += h
+            cm = mol.coords.copy()
+            cm[a, x] -= h
+            ep, _ = mbe_energy_gradient_switched(system, calc, coords=cp, **kw)
+            em, _ = mbe_energy_gradient_switched(system, calc, coords=cm, **kw)
+            assert g[a, x] == pytest.approx((ep - em) / (2 * h), rel=1e-5, abs=1e-9)
+
+    def test_energy_continuous_across_cutoff(self, system, calc):
+        """At the exact shift where a dimer crosses the cutoff, the
+        hard-cutoff MBE energy is discontinuous while the switched one
+        is smooth."""
+        mol = system.parent
+        cents = system.centroids()
+        out_dir = cents[0] - cents.mean(axis=0)
+        out_dir /= np.linalg.norm(out_dir)
+        r_cut = 6.5 * A
+        atoms0 = list(system.monomers[0].atoms)
+
+        # find the shift at which the nearest out-of-cutoff pair crosses
+        def pair_dist(shift, j):
+            c = mol.coords.copy()
+            c[atoms0] += shift * out_dir
+            return float(np.linalg.norm(
+                c[atoms0].mean(axis=0)
+                - c[list(system.monomers[j].atoms)].mean(axis=0)
+            ))
+
+        from scipy.optimize import brentq
+
+        crossings = []
+        for j in range(1, system.nmonomers):
+            f = lambda s, j=j: pair_dist(s, j) - r_cut
+            if f(0.0) * f(8.0 * A) < 0:
+                crossings.append(brentq(f, 0.0, 8.0 * A, xtol=1e-10))
+        assert crossings, "no pair crosses the cutoff in the scan range"
+        s0 = min(crossings)
+        eps = 1e-4 * A
+
+        def both(shift):
+            c = mol.coords.copy()
+            c[atoms0] += shift * out_dir
+            e_sw, _ = mbe_energy_gradient_switched(
+                system, calc, coords=c, r_on_dimer=5.0 * A,
+                r_cut_dimer=r_cut, order=2,
+            )
+            plan = build_plan(system, r_cut, order=2, coords=c)
+            e_h = mbe_energy_gradient(system, plan, calc, coords=c)[0]
+            return e_sw, e_h
+
+        sw_lo, h_lo = both(s0 - eps)
+        sw_hi, h_hi = both(s0 + eps)
+        hard_jump = abs(h_hi - h_lo)
+        smooth_jump = abs(sw_hi - sw_lo)
+        assert hard_jump > 1e-9  # the discontinuity the paper describes
+        assert smooth_jump < hard_jump * 0.1  # switching removes it
+
+    def test_order2(self, system, calc):
+        e, g = mbe_energy_gradient_switched(
+            system, calc, r_on_dimer=4.0 * A, r_cut_dimer=8.0 * A, order=2,
+        )
+        assert np.isfinite(e)
+        np.testing.assert_allclose(g.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_invalid_order(self, system, calc):
+        with pytest.raises(ValueError):
+            mbe_energy_gradient_switched(
+                system, calc, r_on_dimer=1.0, r_cut_dimer=2.0, order=4,
+            )
+
+    def test_order3_requires_radii(self, system, calc):
+        with pytest.raises(ValueError, match="trimer"):
+            mbe_energy_gradient_switched(
+                system, calc, r_on_dimer=1.0, r_cut_dimer=2.0, order=3,
+            )
