@@ -13,6 +13,9 @@ stand-ins and report the same quantities.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.analysis import format_table
 from repro.cluster import PAPER_CALIBRATED, PERLMUTTER, simulate_aimd
 from repro.constants import BOHR_PER_ANGSTROM
@@ -36,6 +39,7 @@ def test_latency_async_vs_sync(run_once, record_output):
     def experiment():
         rows = []
         speedups = []
+        tracer = None
         for label, factory, nodes, gpw, r_d, r_t, p_async, p_sync in CASES:
             fs = factory()
             kw = dict(
@@ -45,7 +49,11 @@ def test_latency_async_vs_sync(run_once, record_output):
                 mbe_order=3, cost_model=PAPER_CALIBRATED,
                 replan_interval=5, gcds_per_worker=gpw,
             )
-            ra = simulate_aimd(fs, synchronous=False, **kw)
+            # trace the first (smaller) async run in virtual time
+            ra = simulate_aimd(fs, synchronous=False, trace=tracer is None,
+                               **kw)
+            if tracer is None:
+                tracer = ra.tracer
             rs = simulate_aimd(fs, synchronous=True, **kw)
             ta, ts = ra.time_per_step(), rs.time_per_step()
             speedup = (ts / ta - 1.0) * 100.0
@@ -71,10 +79,21 @@ def test_latency_async_vs_sync(run_once, record_output):
                 "(event simulation of the real coordinator)"
             ),
         )
-        return table, speedups
+        return table, speedups, tracer
 
-    table, speedups = run_once(experiment)
+    table, speedups, tracer = run_once(experiment)
     record_output("latency_async_vs_sync", table)
+    record_output(
+        "latency_async_trace_summary",
+        tracer.format_summary("6PQ5-like async run — virtual-time trace"),
+    )
+    # export and validate the chrome trace of the traced async run
+    trace_path = Path(__file__).parent / "output" / "latency_async_trace.json"
+    tracer.write_chrome(trace_path)
+    doc = json.loads(trace_path.read_text())
+    assert doc["traceEvents"], "trace must contain events"
+    phases = {ev["ph"] for ev in doc["traceEvents"]}
+    assert "X" in phases and "C" in phases  # worker spans + queue counters
     # async wins in both cases; the bigger system benefits at least
     # comparably (paper: 24% and 40%)
     assert all(s > 5.0 for s in speedups)

@@ -113,7 +113,8 @@ def cmd_aimd(args) -> int:
     from .calculators import PairwisePotentialCalculator, RIMP2Calculator
     from .constants import BOHR_PER_ANGSTROM
     from .frag import FragmentedSystem
-    from .md import AsyncCoordinator, run_serial
+    from .gemm import GLOBAL_TUNER
+    from .md import AsyncCoordinator, FailurePolicy, run_parallel, run_serial
     from .md.integrators import maxwell_boltzmann_velocities
 
     mol = _load(args.xyz, args.charge)
@@ -125,6 +126,12 @@ def cmd_aimd(args) -> int:
     v0 = maxwell_boltzmann_velocities(
         mol.masses_au, args.temperature, seed=args.seed
     )
+    tracer = None
+    if args.trace:
+        from .trace import Tracer
+
+        tracer = Tracer()
+        GLOBAL_TUNER.tracer = tracer
     coordinator = AsyncCoordinator(
         system,
         nsteps=args.steps,
@@ -134,17 +141,42 @@ def cmd_aimd(args) -> int:
         mbe_order=args.order,
         velocities=v0,
         synchronous=args.sync,
+        tracer=tracer,
     )
     print(f"{system.nmonomers} monomers, reference fragment "
           f"{coordinator.reference}, "
           f"{'synchronous' if args.sync else 'asynchronous'} stepping")
-    run_serial(coordinator, calc)
+    if args.workers > 1:
+        policy = FailurePolicy(
+            max_retries=args.max_retries,
+            task_timeout_s=args.task_timeout,
+            quarantine=args.quarantine,
+        )
+        report = run_parallel(
+            coordinator, calc, nworkers=args.workers, policy=policy,
+        )
+        if report.retries or report.pool_restarts or report.timeouts:
+            print(f"fault handling: {report.retries} retries, "
+                  f"{report.timeouts} timeouts, "
+                  f"{report.pool_restarts} pool restarts")
+        for q in report.quarantined:
+            print(f"QUARANTINED polymer {q.key} step {q.step} "
+                  f"(coefficient {q.coefficient:+g}, {q.attempts} attempts): "
+                  f"{q.error}")
+    else:
+        run_serial(coordinator, calc)
     t, pe, ke = coordinator.trajectory_energies()
     rep = analyze_conservation(t, pe, ke)
     print(f"{coordinator.tasks_issued} polymer calculations over "
           f"{args.steps} steps")
     print(f"total energy drift: {rep.drift_hartree_per_fs:.2e} Ha/fs, "
           f"RMS fluctuation: {rep.rms_fluctuation_kjmol:.4f} kJ/mol")
+    if tracer is not None:
+        GLOBAL_TUNER.tracer = None
+        tracer.write_chrome(args.trace)
+        print(f"wrote chrome trace ({len(tracer.events)} events) "
+              f"to {args.trace}")
+        print(tracer.format_summary())
     return 0
 
 
@@ -221,6 +253,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--surrogate", action="store_true",
                    help="classical surrogate potential instead of RI-MP2")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help=">1 runs the fault-tolerant process-pool driver")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retry budget per failed polymer task")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="per-task deadline in seconds (hung-worker guard)")
+    p.add_argument("--quarantine", action="store_true",
+                   help="quarantine poison fragments instead of aborting")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a chrome-trace JSON of the run to PATH "
+                        "and print a span/counter summary")
     p.set_defaults(func=cmd_aimd)
 
     p = sub.add_parser("project", help="exascale projection (Table V style)")

@@ -39,6 +39,8 @@ class SimResult:
     counted_flops: float
     busy_time_s: float
     tasks: int
+    #: tracer with per-worker task spans in virtual time (trace=True runs)
+    tracer: object = None
 
     @property
     def nevals(self) -> int:
@@ -83,6 +85,7 @@ class ClusterSimulator:
         nodes: int,
         cost_model: FragmentCostModel | None = None,
         gcds_per_worker: int = 1,
+        tracer=None,
     ) -> None:
         self.machine = machine
         self.nodes = nodes
@@ -90,6 +93,9 @@ class ClusterSimulator:
         self.gcds_per_worker = gcds_per_worker
         self.nworkers = machine.total_gcds(nodes) // gcds_per_worker
         self.now = 0.0
+        #: optional `repro.trace.Tracer`; construct it with
+        #: ``clock=sim.clock, epoch=0.0`` so spans land in virtual time
+        self.tracer = tracer
 
     def clock(self) -> float:
         """Virtual clock handed to the coordinator."""
@@ -98,21 +104,23 @@ class ClusterSimulator:
     def run(self, coordinator: AsyncCoordinator) -> SimResult:
         """Execute the coordinator to completion in virtual time."""
         m = self.machine
-        events: list[tuple[float, int, object]] = []  # (time, seq, task)
+        tracer = self.tracer
+        # (time, seq, task, worker) completion events
+        events: list[tuple[float, int, object, int]] = []
         seq = 0
-        idle = self.nworkers
+        free_workers = list(range(self.nworkers - 1, -1, -1))
         coord_free = 0.0
         busy = 0.0
         counted = 0.0
         ntasks = 0
 
         def dispatch() -> None:
-            nonlocal idle, coord_free, seq, busy, counted, ntasks
-            while idle > 0:
+            nonlocal coord_free, seq, busy, counted, ntasks
+            while free_workers:
                 task = coordinator.next_task()
                 if task is None:
                     break
-                idle -= 1
+                wid = free_workers.pop()
                 ntasks += 1
                 # serial super-coordinator service + message to the worker
                 start_service = max(self.now, coord_free)
@@ -123,20 +131,28 @@ class ClusterSimulator:
                 )
                 busy += dur
                 counted += self.cost.gemm_flops(task.nelectrons)
-                heapq.heappush(events, (exec_start + dur, seq, task))
+                if tracer:
+                    tracer.complete(
+                        "polymer.exec", exec_start, dur, cat="sim.worker",
+                        tid=wid, step=task.step, key=str(task.key),
+                        nelectrons=task.nelectrons,
+                    )
+                heapq.heappush(events, (exec_start + dur, seq, task, wid))
                 seq += 1
 
         dispatch()
         while events:
-            t, _, task = heapq.heappop(events)
+            t, _, task, wid = heapq.heappop(events)
             self.now = t
             # result message back + coordinator bookkeeping
             coord_free = max(self.now, coord_free) + m.coordinator_service_s
             coordinator.complete(task, 0.0, None)
-            idle += 1
+            free_workers.append(wid)
             dispatch()
         if not coordinator.done():
-            raise RuntimeError("cluster simulation deadlocked")
+            raise RuntimeError(
+                "cluster simulation deadlocked; " + coordinator.diagnostics()
+            )
         return SimResult(
             machine=m.name,
             nodes=self.nodes,
@@ -146,6 +162,7 @@ class ClusterSimulator:
             counted_flops=counted,
             busy_time_s=busy,
             tasks=ntasks,
+            tracer=tracer,
         )
 
 
@@ -161,11 +178,23 @@ def simulate_aimd(
     replan_interval: int = 4,
     cost_model: FragmentCostModel | None = None,
     gcds_per_worker: int = 1,
+    trace: bool = False,
 ) -> SimResult:
-    """Convenience wrapper: build a stub-mode coordinator and simulate it."""
+    """Convenience wrapper: build a stub-mode coordinator and simulate it.
+
+    With ``trace=True`` a `repro.trace.Tracer` bound to the simulator's
+    virtual clock records worker spans and scheduler counters; it is
+    returned on ``SimResult.tracer``.
+    """
     sim = ClusterSimulator(
         machine, nodes, cost_model=cost_model, gcds_per_worker=gcds_per_worker
     )
+    tracer = None
+    if trace:
+        from ..trace import Tracer
+
+        tracer = Tracer(clock=sim.clock, epoch=0.0)
+        sim.tracer = tracer
     coordinator = AsyncCoordinator(
         system,
         nsteps=nsteps,
@@ -178,5 +207,6 @@ def simulate_aimd(
         replan_interval=replan_interval,
         clock=sim.clock,
         build_molecules=False,
+        tracer=tracer,
     )
     return sim.run(coordinator)

@@ -1,7 +1,15 @@
 """Ab initio molecular dynamics: NVE Verlet, sync and async scheduling."""
 
 from .aimd import Trajectory, run_aimd
-from .drivers import run_parallel
+from .drivers import (
+    DriverReport,
+    FailurePolicy,
+    FaultInjectingCalculator,
+    QuarantinedTask,
+    TransientWorkerError,
+    WorkerFailure,
+    run_parallel,
+)
 from .integrators import (
     fs_to_au,
     instantaneous_temperature,
@@ -16,7 +24,13 @@ from .trajio import load_restart, read_trajectory_xyz, save_restart, write_traje
 __all__ = [
     "AsyncCoordinator",
     "BerendsenThermostat",
+    "DriverReport",
+    "FailurePolicy",
+    "FaultInjectingCalculator",
     "FragmentStub",
+    "QuarantinedTask",
+    "TransientWorkerError",
+    "WorkerFailure",
     "LangevinThermostat",
     "load_restart",
     "read_trajectory_xyz",

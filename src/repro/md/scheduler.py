@@ -93,6 +93,8 @@ class AsyncCoordinator:
         velocities: np.ndarray | None = None,
         clock=time.perf_counter,
         build_molecules: bool = True,
+        tracer=None,
+        deterministic: bool = False,
     ) -> None:
         self.system = system
         self.nsteps = nsteps
@@ -104,6 +106,17 @@ class AsyncCoordinator:
         self.replan_interval = max(1, replan_interval)
         self.synchronous = synchronous
         self.clock = clock
+        #: optional `repro.trace.Tracer` (duck-typed); every emission is
+        #: guarded so the disabled path costs one attribute check
+        self.tracer = tracer
+        #: bitwise-reproducible mode: per-polymer contributions are
+        #: buffered and reduced in canonical key order instead of being
+        #: accumulated in completion order, so trajectories are identical
+        #: no matter how workers race (or fail and retry). Costs per-live-
+        #: step polymer storage — the trade the paper's direct
+        #: accumulation avoids — so it is opt-in (testing, debugging,
+        #: reproducibility audits).
+        self.deterministic = deterministic
 
         parent = system.parent
         self.masses = parent.masses_au
@@ -148,7 +161,10 @@ class AsyncCoordinator:
         #: coordinates of each monomer at each step it has reached
         self.coords_at: dict[int, np.ndarray] = {0: parent.coords.copy()}
 
-        # per-step accumulation state
+        # per-step accumulation state. Entries are evicted once a step is
+        # fully retired (every polymer completed, every monomer integrated
+        # past it), so live state is bounded by the plan-window skew, not
+        # by nsteps.
         self._grad: dict[int, np.ndarray] = {}
         self._pe: dict[int, float] = {}
         self._pending_total: dict[int, int] = {}
@@ -156,6 +172,16 @@ class AsyncCoordinator:
         self._queued: dict[int, set] = {}
         self._ke: dict[int, float] = {}
         self._ke_done: dict[int, int] = {}
+        self._ref_cent_cache: dict[int, np.ndarray] = {}
+        #: deterministic mode: step -> {key -> (energy, grad, atoms, caps, c)}
+        self._contrib: dict[int, dict] = {}
+        #: deterministic mode: step -> {monomer -> kinetic energy}
+        self._ke_parts: dict[int, dict[int, float]] = {}
+        #: lowest step whose buffers have not been evicted yet
+        self._evict_floor = 0
+        #: high-water mark of simultaneously live (un-evicted) steps
+        self.max_live_steps = 0
+        self.steps_evicted = 0
 
         # results
         self.potential_energies: dict[int, float] = {}
@@ -166,6 +192,7 @@ class AsyncCoordinator:
         # plan windows
         self.plans: dict[int, MBEPlan] = {}
         self._plan_touch: dict[int, dict[tuple, list[int]]] = {}
+        self._plan_mono_keys: dict[int, dict[int, list[tuple]]] = {}
         self._build_plan_window(0)
 
         self._heap: list = []
@@ -209,6 +236,7 @@ class AsyncCoordinator:
                 mono_keys[m].append(key)
         self._plan_touch[w0] = touch
         self._mono_keys = mono_keys
+        self._plan_mono_keys[w0] = mono_keys
         nmono = self.system.nmonomers
         counts0 = np.zeros(nmono, dtype=int)
         for key, tl in touch.items():
@@ -222,6 +250,9 @@ class AsyncCoordinator:
             self._queued[step] = set()
             self._ke[step] = 0.0
             self._ke_done[step] = 0
+            self._contrib[step] = {}
+            self._ke_parts[step] = {}
+        self.max_live_steps = max(self.max_live_steps, self.live_steps)
 
     def plan_for_step(self, step: int) -> MBEPlan:
         """The MBE plan whose window covers ``step``."""
@@ -236,9 +267,7 @@ class AsyncCoordinator:
         return all(self.monomer_time[m] >= step for m in touch)
 
     def _ref_centroid(self, step: int) -> np.ndarray:
-        cache = getattr(self, "_ref_cent_cache", None)
-        if cache is None:
-            cache = self._ref_cent_cache = {}
+        cache = self._ref_cent_cache
         if step not in cache:
             coords = self.coords_at[step]
             cache[step] = coords[self.monomer_atoms[self.reference]].mean(axis=0)
@@ -281,6 +310,11 @@ class AsyncCoordinator:
         )
         self._seq += 1
         self._queued[step].add(key)
+        if self.tracer:
+            self.tracer.instant(
+                "task.release", cat="scheduler", step=step, key=str(key)
+            )
+            self.tracer.counter("scheduler.queue_depth", len(self._heap))
 
     def _try_release_step_polymers(self, step: int, only_monomer: int | None = None) -> None:
         if step > self.nsteps:
@@ -311,6 +345,9 @@ class AsyncCoordinator:
         _, _, _, _, task = heapq.heappop(self._heap)
         self.in_flight += 1
         self.tasks_issued += 1
+        if self.tracer:
+            self.tracer.counter("scheduler.queue_depth", len(self._heap))
+            self.tracer.counter("scheduler.in_flight", self.in_flight)
         return task
 
     def complete(self, task: PolymerTask, energy: float, grad_frag: np.ndarray) -> None:
@@ -319,15 +356,27 @@ class AsyncCoordinator:
         self.in_flight -= 1
         step = task.step
         c = task.coefficient
-        self._pe[step] += c * energy
-        if task.atoms is not None and grad_frag is not None:
-            self.system.map_gradient(
-                grad_frag, task.atoms, task.caps, self._grad[step], scale=c
+        if self.deterministic:
+            self._contrib[step][task.key] = (
+                energy, grad_frag, task.atoms, task.caps, c
             )
+        else:
+            self._pe[step] += c * energy
+            if task.atoms is not None and grad_frag is not None:
+                self.system.map_gradient(
+                    grad_frag, task.atoms, task.caps, self._grad[step], scale=c
+                )
         self._pending_total[step] -= 1
         if self._pending_total[step] == 0:
+            if self.deterministic:
+                contribs = self._contrib[step]
+                self._pe[step] = sum(
+                    contribs[k][4] * contribs[k][0] for k in sorted(contribs)
+                )
             self.potential_energies[step] = self._pe[step]
             self.step_finish_time[step] = self.clock() - self.start_time
+            if self.tracer:
+                self.tracer.instant("step.complete", cat="scheduler", step=step)
         w0 = self._window_start(step)
         touch = self._plan_touch[w0][task.key]
         counts = self._pending_monomer[step]
@@ -335,11 +384,69 @@ class AsyncCoordinator:
             counts[m] -= 1
             if counts[m] == 0:
                 self._integrate_monomer(m, step)
+        if self.tracer:
+            self.tracer.instant(
+                "task.complete", cat="scheduler", step=step, key=str(task.key)
+            )
+            self.tracer.counter("scheduler.in_flight", self.in_flight)
+            self.tracer.counter("scheduler.step_skew", self.max_step_skew)
+        self._evict_retired_steps()
+
+    def _evict_retired_steps(self) -> None:
+        """Free per-step buffers for steps no code path can read again.
+
+        A step ``s`` is retired once every monomer has integrated past it
+        (``min(monomer_time) > s``): all its polymers have completed
+        (otherwise some monomer's pending count would be nonzero), its
+        results are in `potential_energies`/`kinetic_energies`, and no
+        future release, integration, or plan build reads ``coords_at[s]``
+        — releases and plan builds only ever look at steps at or above
+        the slowest monomer. Without eviction these buffers grow
+        O(nsteps x natoms) and long NVE runs leak linearly in step count.
+        """
+        low = int(self.monomer_time.min())
+        while self._evict_floor < low:
+            s = self._evict_floor
+            for d in (
+                self.coords_at, self._grad, self._pe, self._pending_total,
+                self._pending_monomer, self._queued, self._ke,
+                self._ke_done, self._ref_cent_cache, self._contrib,
+                self._ke_parts,
+            ):
+                d.pop(s, None)
+            self.steps_evicted += 1
+            self._evict_floor += 1
+
+    @property
+    def live_steps(self) -> int:
+        """Number of steps whose accumulation buffers are currently live."""
+        return len(self._pending_total)
+
+    def _monomer_gradient_rows(self, m: int, step: int) -> np.ndarray:
+        """Gradient on monomer ``m``'s atoms, reduced deterministically.
+
+        Sums the buffered contributions of every polymer touching ``m``
+        in canonical (sorted-key) order, so the result is independent of
+        worker completion order.
+        """
+        rows = self.monomer_atoms[m]
+        w0 = self._window_start(step)
+        contribs = self._contrib[step]
+        buf = np.zeros((self.system.parent.natoms, 3))
+        for key in sorted(self._plan_mono_keys[w0][m]):
+            energy, grad_frag, atoms, caps, c = contribs[key]
+            if atoms is not None and grad_frag is not None:
+                self.system.map_gradient(grad_frag, atoms, caps, buf, scale=c)
+        return buf[rows]
 
     def _integrate_monomer(self, m: int, step: int) -> None:
         """Velocity-Verlet update of one monomer whose step forces are done."""
         rows = self.monomer_atoms[m]
-        acc = -self._grad[step][rows] / self.masses[rows, None]
+        if self.deterministic:
+            grad_rows = self._monomer_gradient_rows(m, step)
+        else:
+            grad_rows = self._grad[step][rows]
+        acc = -grad_rows / self.masses[rows, None]
         if step > 0:
             # second half-kick completing the previous step
             self.velocities[rows] += 0.5 * self.dt * acc
@@ -347,9 +454,15 @@ class AsyncCoordinator:
         ke = 0.5 * float(
             np.sum(self.masses[rows, None] * self.velocities[rows] ** 2)
         )
-        self._ke[step] += ke
+        if self.deterministic:
+            self._ke_parts[step][m] = ke
+        else:
+            self._ke[step] += ke
         self._ke_done[step] += 1
         if self._ke_done[step] == self.system.nmonomers:
+            if self.deterministic:
+                parts = self._ke_parts[step]
+                self._ke[step] = sum(parts[i] for i in sorted(parts))
             self.kinetic_energies[step] = self._ke[step]
         if step >= self.nsteps:
             self.monomer_done[m] = True
@@ -402,16 +515,43 @@ class AsyncCoordinator:
         """Largest lead of any monomer over the slowest one (observed now)."""
         return int(self.monomer_time.max() - self.monomer_time.min())
 
+    def diagnostics(self) -> str:
+        """One-line scheduler state dump for deadlock/failure messages."""
+        lo = int(self.monomer_time.min())
+        hi = int(self.monomer_time.max())
+        live = sorted(self._pending_total)
+        pending = {s: self._pending_total[s] for s in live}
+        return (
+            f"queue={len(self._heap)} in_flight={self.in_flight} "
+            f"monomer_steps=[{lo},{hi}] skew={hi - lo} "
+            f"live_steps={live} pending_polymers={pending} "
+            f"issued={self.tasks_issued} evicted={self.steps_evicted} "
+            f"done={self.done()}"
+        )
 
-def run_serial(coordinator: AsyncCoordinator, calculator) -> None:
-    """Drive a coordinator to completion with a single worker."""
+
+def run_serial(coordinator: AsyncCoordinator, calculator, tracer=None) -> None:
+    """Drive a coordinator to completion with a single worker.
+
+    In a serial driver every issued task completes before the next
+    ``next_task`` call, so an empty queue before ``done()`` is always a
+    scheduler bug — there is no in-flight work that could unlock more
+    tasks, and the old ``in_flight > 0`` guard merely turned the bug
+    into a silent busy-spin. The check is therefore unconditional.
+    """
+    if tracer is None:
+        tracer = coordinator.tracer
     while not coordinator.done():
         task = coordinator.next_task()
         if task is None:
-            if coordinator.in_flight == 0 and not coordinator.done():
-                raise RuntimeError(
-                    "scheduler deadlock: no ready tasks, nothing in flight"
-                )
-            continue
-        e, g = calculator.energy_gradient(task.molecule)
+            raise RuntimeError(
+                "scheduler deadlock: no ready tasks in serial driver; "
+                + coordinator.diagnostics()
+            )
+        if tracer:
+            with tracer.span("task.exec", cat="driver",
+                             step=task.step, key=str(task.key)):
+                e, g = calculator.energy_gradient(task.molecule)
+        else:
+            e, g = calculator.energy_gradient(task.molecule)
         coordinator.complete(task, e, g)

@@ -76,6 +76,35 @@ class TestCommands:
         assert rc == 0
         assert "synchronous" in capsys.readouterr().out
 
+    def test_aimd_trace_writes_chrome_json(self, cluster_file, tmp_path,
+                                           capsys):
+        import json
+
+        trace_file = tmp_path / "aimd_trace.json"
+        rc = main([
+            "aimd", cluster_file, "--surrogate", "--steps", "2",
+            "--r-dimer", "30", "--r-trimer", "15", "--order", "2",
+            "--trace", str(trace_file),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote chrome trace" in out
+        assert "trace summary" in out
+        doc = json.loads(trace_file.read_text())
+        names = {ev["name"] for ev in doc["traceEvents"]}
+        # scheduler, driver, and GEMM layers all show up in one trace
+        assert "task.release" in names
+        assert "task.exec" in names
+
+    def test_aimd_parallel_workers(self, cluster_file, capsys):
+        rc = main([
+            "aimd", cluster_file, "--surrogate", "--steps", "2",
+            "--r-dimer", "30", "--r-trimer", "15", "--order", "2",
+            "--workers", "2",
+        ])
+        assert rc == 0
+        assert "polymer calculations" in capsys.readouterr().out
+
     def test_project(self, capsys):
         rc = main(["project", "--molecules", "500", "--nodes", "32"])
         assert rc == 0

@@ -45,20 +45,53 @@ class TestAutoTuner:
         A = rng.standard_normal((16, 9))
         B = rng.standard_normal((9, 12))
         ref = A @ B
-        for i in range(6):
+        ntrials = len(VARIANTS) * tuner.trials_per_variant
+        for i in range(ntrials + 2):
             np.testing.assert_allclose(tuner.gemm(A, B), ref, atol=1e-12)
         key = (16, 9, 12)
         assert key in tuner.best
-        assert len(tuner.trials[key]) == len(VARIANTS)
+        assert len(tuner.trials[key]) == ntrials
         assert tuner.best[key] in VARIANTS
 
     def test_best_is_fastest_trial(self):
         tuner = GemmAutoTuner()
         A = np.random.default_rng(3).standard_normal((30, 30))
-        for _ in range(4):
+        for _ in range(len(VARIANTS) * tuner.trials_per_variant):
             tuner.gemm(A, A)
         (key, picked, times), = tuner.report()
         assert times[picked] == min(times.values())
+
+    def test_multiple_trials_per_variant(self):
+        """Each variant is sampled trials_per_variant times round-robin,
+        and the winner is judged on its minimum sample."""
+        tuner = GemmAutoTuner(trials_per_variant=3)
+        A = np.eye(8)
+        key = (8, 8, 8)
+        for i in range(len(VARIANTS) * 3):
+            tuner.gemm(A, A)
+            if i < len(VARIANTS) * 3 - 1:
+                assert key not in tuner.best  # not committed early
+        assert key in tuner.best
+        per_variant = {}
+        for v, _ in tuner.trials[key]:
+            per_variant[v] = per_variant.get(v, 0) + 1
+        assert per_variant == {v: 3 for v in VARIANTS}
+        (_, picked, times), = tuner.report()
+        assert times[picked] == min(times.values())
+
+    def test_min_over_trials_rejects_first_call_noise(self):
+        """A single slow outlier sample must not veto a variant."""
+        tuner = GemmAutoTuner(trials_per_variant=2)
+        key = (1, 1, 1)
+        # hand-crafted trial log: NN's first sample is noisy-slow, but
+        # its best sample beats everything else
+        tuner.trials[key] = [
+            ("NN", 9.0), ("NT", 2.0), ("TN", 3.0), ("TT", 4.0),
+            ("NN", 1.0), ("NT", 2.1), ("TN", 3.1), ("TT", 4.1),
+        ]
+        times = tuner._min_times(tuner.trials[key])
+        assert times == {"NN": 1.0, "NT": 2.0, "TN": 3.0, "TT": 4.0}
+        assert min(times, key=times.get) == "NN"
 
     def test_disabled_tuner_uses_default(self):
         tuner = GemmAutoTuner(enabled=False)

@@ -171,3 +171,86 @@ class TestDeadlockDetection:
         calc = PairwisePotentialCalculator()
         with pytest.raises(RuntimeError, match="deadlock"):
             run_serial(co, calc)
+
+    def test_run_serial_raises_even_with_in_flight(self):
+        """In a serial driver nothing can complete concurrently, so a
+        stall with in_flight > 0 is still a bug and must raise (the old
+        guard busy-spun forever here)."""
+        fs = FragmentedSystem.by_components(water_cluster(2, seed=0))
+        co = _make(fs)
+        while co.has_ready_tasks():
+            co.next_task()
+        assert co.in_flight > 0
+        with pytest.raises(RuntimeError, match="deadlock"):
+            run_serial(co, PairwisePotentialCalculator())
+
+    def test_deadlock_message_carries_scheduler_state(self):
+        fs = FragmentedSystem.by_components(water_cluster(2, seed=0))
+        co = _make(fs)
+        while co.has_ready_tasks():
+            co.next_task()
+        with pytest.raises(RuntimeError, match=r"in_flight=1 .*pending_polymers"):
+            run_serial(co, PairwisePotentialCalculator())
+
+    def test_diagnostics_format(self):
+        fs = FragmentedSystem.by_components(water_cluster(2, seed=0))
+        co = _make(fs)
+        d = co.diagnostics()
+        for token in ("queue=", "in_flight=", "skew=", "live_steps=",
+                      "pending_polymers=", "issued=", "evicted="):
+            assert token in d
+
+
+class TestBoundedMemory:
+    def test_live_steps_bounded_on_long_trajectory(self):
+        """Per-step buffers must be evicted as steps retire: live state
+        is bounded by the plan-window span, not by nsteps."""
+        fs = FragmentedSystem.by_components(water_cluster(4, seed=7))
+        nsteps, replan = 60, 4
+        co = AsyncCoordinator(
+            fs, nsteps=nsteps, dt_fs=0.5, r_dimer_bohr=BIG, mbe_order=2,
+            temperature_k=120.0, replan_interval=replan,
+            build_molecules=False,
+        )
+        while not co.done():
+            task = co.next_task()
+            co.complete(task, 0.0, None)
+        # a window's steps plus at most one window of skew can be live
+        assert co.max_live_steps <= 2 * replan
+        # everything but the final step was evicted
+        assert co.steps_evicted == nsteps
+        assert co.live_steps == 1
+        assert sorted(co.coords_at) == [nsteps]
+        assert list(co._grad) == [nsteps]
+        assert list(co._queued) == [nsteps]
+        assert list(co._pending_monomer) == [nsteps]
+        assert not set(co._ref_cent_cache) - {nsteps}
+        # results survive eviction in full
+        t, pe, ke = co.trajectory_energies()
+        assert len(t) == nsteps + 1
+
+    def test_eviction_does_not_change_trajectory(self):
+        """Eviction is bookkeeping only: energies must match a reference
+        computed before eviction existed (serial, small run)."""
+        fs = FragmentedSystem.by_components(water_cluster(3, seed=9))
+        from repro.md.integrators import maxwell_boltzmann_velocities
+
+        v0 = maxwell_boltzmann_velocities(fs.parent.masses_au, 150, seed=2)
+        co = AsyncCoordinator(
+            fs, nsteps=30, dt_fs=0.5, r_dimer_bohr=BIG, mbe_order=2,
+            velocities=v0, replan_interval=4,
+        )
+        run_serial(co, PairwisePotentialCalculator())
+        t, pe, ke = co.trajectory_energies()
+        tot = pe + ke
+        assert len(t) == 31
+        assert np.abs(tot - tot[0]).max() < 1e-3
+        assert co.steps_evicted == 30
+
+    def test_final_step_coordinates_retained(self):
+        fs = FragmentedSystem.by_components(water_cluster(2, seed=5))
+        co = _make(fs, nsteps=6, build_molecules=False)
+        while not co.done():
+            co.complete(co.next_task(), 0.0, None)
+        assert 6 in co.coords_at
+        assert co.coords_at[6].shape == fs.parent.coords.shape

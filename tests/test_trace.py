@@ -1,0 +1,174 @@
+"""Trace module: span/counter recording, chrome export, instrumentation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.calculators import PairwisePotentialCalculator
+from repro.cluster import PERLMUTTER, simulate_aimd
+from repro.constants import BOHR_PER_ANGSTROM
+from repro.frag import FragmentedSystem
+from repro.gemm import GemmAutoTuner, VARIANTS
+from repro.md import AsyncCoordinator, run_serial
+from repro.md.integrators import maxwell_boltzmann_velocities
+from repro.systems import water_cluster
+from repro.trace import Tracer
+
+BIG = 1.0e6
+
+#: keys every chrome trace event must carry, per phase type
+REQUIRED = {"name", "ph", "ts", "pid", "tid"}
+
+
+def _validate_chrome(doc: dict) -> None:
+    """Assert the exported object is schema-valid chrome-trace JSON."""
+    assert set(doc) >= {"traceEvents"}
+    assert isinstance(doc["traceEvents"], list)
+    for ev in doc["traceEvents"]:
+        assert REQUIRED <= set(ev), f"missing keys in {ev}"
+        assert ev["ph"] in {"X", "i", "C"}
+        assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0
+        if ev["ph"] == "C":
+            assert "value" in ev["args"]
+
+
+class TestTracer:
+    def test_span_context_manager(self):
+        tr = Tracer()
+        with tr.span("work", cat="test", answer=42):
+            pass
+        (ev,) = tr.events
+        assert ev["ph"] == "X" and ev["name"] == "work"
+        assert ev["args"]["answer"] == 42
+
+    def test_virtual_clock(self):
+        now = [0.0]
+        tr = Tracer(clock=lambda: now[0], epoch=0.0)
+        tr.complete("task", start_s=1.5, dur_s=0.5)
+        now[0] = 3.0
+        tr.instant("done")
+        a, b = tr.events
+        assert a["ts"] == pytest.approx(1.5e6)
+        assert a["dur"] == pytest.approx(0.5e6)
+        assert b["ts"] == pytest.approx(3.0e6)
+
+    def test_counter_and_summary(self):
+        tr = Tracer(clock=lambda: 0.0, epoch=0.0)
+        for v in (1, 5, 3):
+            tr.counter("depth", v)
+        tr.instant("tick")
+        rows = tr.summary()
+        kinds = {(k, n) for k, n, *_ in rows}
+        assert ("counter", "depth") in kinds
+        assert ("instant", "tick") in kinds
+        (crow,) = [r for r in rows if r[0] == "counter"]
+        _, _, count, last, mean, peak = crow
+        assert count == 3 and last == 3 and peak == 5
+        assert mean == pytest.approx(3.0)
+
+    def test_event_cap_drops_not_grows(self):
+        tr = Tracer(max_events=5)
+        for i in range(10):
+            tr.instant(f"e{i}")
+        assert len(tr.events) == 5
+        assert tr.dropped == 5
+
+    def test_write_chrome_roundtrip(self, tmp_path):
+        tr = Tracer()
+        with tr.span("a"):
+            tr.instant("b")
+        tr.counter("c", 7)
+        path = tmp_path / "trace.json"
+        tr.write_chrome(path)
+        doc = json.loads(path.read_text())
+        _validate_chrome(doc)
+        assert len(doc["traceEvents"]) == 3
+
+    def test_format_summary_is_table(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        text = tr.format_summary()
+        assert "span" in text and "a" in text
+
+
+class TestSchedulerInstrumentation:
+    def test_serial_run_emits_full_event_set(self, tmp_path):
+        system = FragmentedSystem.by_components(water_cluster(3, seed=2))
+        tr = Tracer()
+        v0 = maxwell_boltzmann_velocities(system.parent.masses_au, 100, seed=1)
+        co = AsyncCoordinator(
+            system, nsteps=2, dt_fs=0.5, r_dimer_bohr=BIG, mbe_order=2,
+            velocities=v0, tracer=tr,
+        )
+        run_serial(co, PairwisePotentialCalculator())
+        names = {ev["name"] for ev in tr.events}
+        assert {"task.release", "task.complete", "task.exec",
+                "step.complete", "scheduler.queue_depth",
+                "scheduler.in_flight", "scheduler.step_skew"} <= names
+        # one exec span per issued task
+        execs = [ev for ev in tr.events if ev["name"] == "task.exec"]
+        assert len(execs) == co.tasks_issued
+        path = tmp_path / "run.json"
+        tr.write_chrome(path)
+        _validate_chrome(json.loads(path.read_text()))
+
+    def test_untraced_run_unchanged(self):
+        """tracer=None must leave the trajectory identical (guard-only)."""
+        system = FragmentedSystem.by_components(water_cluster(3, seed=2))
+        v0 = maxwell_boltzmann_velocities(system.parent.masses_au, 100, seed=1)
+        kw = dict(nsteps=3, dt_fs=0.5, r_dimer_bohr=BIG, mbe_order=2,
+                  velocities=v0)
+        c1 = AsyncCoordinator(system, **kw)
+        run_serial(c1, PairwisePotentialCalculator())
+        c2 = AsyncCoordinator(system, tracer=Tracer(), **kw)
+        run_serial(c2, PairwisePotentialCalculator())
+        np.testing.assert_array_equal(
+            c1.trajectory_energies()[1], c2.trajectory_energies()[1]
+        )
+
+
+class TestSimulatorTrace:
+    def test_virtual_time_spans(self, tmp_path):
+        system = FragmentedSystem.by_components(water_cluster(4, seed=5))
+        res = simulate_aimd(
+            system, PERLMUTTER, nodes=1, nsteps=2,
+            r_dimer_bohr=8.0 * BOHR_PER_ANGSTROM, r_trimer_bohr=None,
+            mbe_order=2, trace=True,
+        )
+        tr = res.tracer
+        assert tr is not None
+        spans = [ev for ev in tr.events if ev["ph"] == "X"]
+        assert spans, "simulator must emit worker spans"
+        # spans live on the virtual timeline, bounded by the makespan
+        for ev in spans:
+            assert 0 <= ev["ts"] <= res.total_time_s * 1e6 + 1e-6
+            assert ev["name"] == "polymer.exec"
+        path = tmp_path / "sim.json"
+        tr.write_chrome(path)
+        _validate_chrome(json.loads(path.read_text()))
+
+    def test_untraced_sim_has_no_tracer(self):
+        system = FragmentedSystem.by_components(water_cluster(2, seed=5))
+        res = simulate_aimd(
+            system, PERLMUTTER, nodes=1, nsteps=1,
+            r_dimer_bohr=BIG, r_trimer_bohr=None, mbe_order=2,
+        )
+        assert res.tracer is None
+
+
+class TestGemmTuneTrace:
+    def test_decision_event_emitted(self):
+        tr = Tracer()
+        tuner = GemmAutoTuner(tracer=tr)
+        A = np.eye(6)
+        for _ in range(len(VARIANTS) * tuner.trials_per_variant):
+            tuner.gemm(A, A)
+        (ev,) = [e for e in tr.events if e["name"] == "gemm.autotune"]
+        assert ev["args"]["shape"] == str((6, 6, 6))
+        assert ev["args"]["variant"] in VARIANTS
