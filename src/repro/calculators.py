@@ -26,7 +26,9 @@ import numpy as np
 from .chem.molecule import Molecule
 from .mp2.mp2 import mp2_ri
 from .mp2.rimp2_grad import rimp2_gradient
+from .numerics import ensure_finite
 from .scf.grad import rhf_gradient_conventional, rhf_gradient_ri
+from .scf.recovery import rhf_with_recovery
 from .scf.rhf import rhf
 
 
@@ -38,28 +40,51 @@ class Calculator(Protocol):
         ...
 
 
+def _solve_scf(mol, basis, recover: bool, tracer=None, **kwargs):
+    """Bare `rhf` or the recovery cascade, per the calculator's setting."""
+    if recover:
+        return rhf_with_recovery(mol, basis, tracer=tracer, **kwargs)
+    return rhf(mol, basis, **kwargs)
+
+
 @dataclass
 class RIMP2Calculator:
-    """Full RI-HF + RI-MP2 energy and analytic gradient (the paper's method)."""
+    """Full RI-HF + RI-MP2 energy and analytic gradient (the paper's method).
+
+    ``recover=True`` (the default) routes the SCF through the escalation
+    ladder of `repro.scf.recovery`, so a hard fragment geometry costs
+    extra iterations instead of aborting the trajectory.  Every returned
+    energy/gradient passes a NaN/Inf sentinel; divergence surfaces as a
+    typed `NumericalDivergenceError` the fault-tolerant drivers know how
+    to retry or quarantine.
+    """
 
     basis: str = "sto-3g"
     conv_energy: float = 1.0e-10
     max_iter: int = 150
+    recover: bool = True
 
     def energy_gradient(self, mol: Molecule) -> tuple[float, np.ndarray]:
         """RI-HF + RI-MP2 total energy and analytic gradient."""
-        res = rhf(
-            mol, self.basis, ri=True,
+        res = _solve_scf(
+            mol, self.basis, self.recover, ri=True,
             conv_energy=self.conv_energy, max_iter=self.max_iter,
         )
         out = rimp2_gradient(res, return_intermediates=True)
-        return res.energy + out.e_corr, out.gradient
+        energy = res.energy + out.e_corr
+        ensure_finite(
+            f"RI-MP2 on {mol.natoms}-atom fragment",
+            energy=energy, gradient=out.gradient,
+        )
+        return energy, out.gradient
 
     def energy(self, mol: Molecule) -> float:
         """Energy-only evaluation (skips the gradient machinery)."""
-        res = rhf(mol, self.basis, ri=True,
-                  conv_energy=self.conv_energy, max_iter=self.max_iter)
-        return res.energy + mp2_ri(res).e_corr
+        res = _solve_scf(mol, self.basis, self.recover, ri=True,
+                         conv_energy=self.conv_energy, max_iter=self.max_iter)
+        energy = res.energy + mp2_ri(res).e_corr
+        ensure_finite(f"RI-MP2 on {mol.natoms}-atom fragment", energy=energy)
+        return energy
 
 
 @dataclass
@@ -67,11 +92,17 @@ class RIHFCalculator:
     """RI-HF only (no correlation) — used for RI-vs-non-RI timing studies."""
 
     basis: str = "sto-3g"
+    recover: bool = True
 
     def energy_gradient(self, mol: Molecule) -> tuple[float, np.ndarray]:
         """RI-HF energy and analytic gradient."""
-        res = rhf(mol, self.basis, ri=True)
-        return res.energy, rhf_gradient_ri(res)
+        res = _solve_scf(mol, self.basis, self.recover, ri=True)
+        grad = rhf_gradient_ri(res)
+        ensure_finite(
+            f"RI-HF on {mol.natoms}-atom fragment",
+            energy=res.energy, gradient=grad,
+        )
+        return res.energy, grad
 
 
 @dataclass
@@ -79,11 +110,17 @@ class ConventionalHFCalculator:
     """Four-center HF baseline (what RI-HF replaces, Fig. 3)."""
 
     basis: str = "sto-3g"
+    recover: bool = True
 
     def energy_gradient(self, mol: Molecule) -> tuple[float, np.ndarray]:
         """Conventional four-center HF energy and gradient."""
-        res = rhf(mol, self.basis, ri=False)
-        return res.energy, rhf_gradient_conventional(res)
+        res = _solve_scf(mol, self.basis, self.recover, ri=False)
+        grad = rhf_gradient_conventional(res)
+        ensure_finite(
+            f"HF on {mol.natoms}-atom fragment",
+            energy=res.energy, gradient=grad,
+        )
+        return res.energy, grad
 
 
 # --------------------------------------------------------------------------

@@ -132,6 +132,13 @@ def cmd_aimd(args) -> int:
 
         tracer = Tracer()
         GLOBAL_TUNER.tracer = tracer
+    resume = None
+    if args.resume:
+        from .md import read_checkpoint
+
+        resume = read_checkpoint(args.resume, mol=mol)
+        print(f"resuming from {args.resume}: step {resume.step} "
+              f"(t = {resume.time_fs:g} fs)")
     coordinator = AsyncCoordinator(
         system,
         nsteps=args.steps,
@@ -142,18 +149,34 @@ def cmd_aimd(args) -> int:
         velocities=v0,
         synchronous=args.sync,
         tracer=tracer,
+        deterministic=args.deterministic,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=resume,
     )
     print(f"{system.nmonomers} monomers, reference fragment "
           f"{coordinator.reference}, "
           f"{'synchronous' if args.sync else 'asynchronous'} stepping")
     if args.workers > 1:
+        from .md import DriverReport
+
         policy = FailurePolicy(
             max_retries=args.max_retries,
             task_timeout_s=args.task_timeout,
             quarantine=args.quarantine,
         )
+        prior = None
+        if resume is not None and resume.driver:
+            d = resume.driver
+            prior = DriverReport(
+                tasks_completed=d.get("tasks_completed", 0),
+                retries=d.get("retries", 0),
+                pool_restarts=d.get("pool_restarts", 0),
+                timeouts=d.get("timeouts", 0),
+            )
         report = run_parallel(
             coordinator, calc, nworkers=args.workers, policy=policy,
+            report=prior,
         )
         if report.retries or report.pool_restarts or report.timeouts:
             print(f"fault handling: {report.retries} retries, "
@@ -167,6 +190,8 @@ def cmd_aimd(args) -> int:
         run_serial(coordinator, calc)
     t, pe, ke = coordinator.trajectory_energies()
     rep = analyze_conservation(t, pe, ke)
+    tot = np.asarray(pe) + np.asarray(ke)
+    print(f"final total energy: {tot[-1]:.12f} Ha")
     print(f"{coordinator.tasks_issued} polymer calculations over "
           f"{args.steps} steps")
     print(f"total energy drift: {rep.drift_hartree_per_fs:.2e} Ha/fs, "
@@ -264,6 +289,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="write a chrome-trace JSON of the run to PATH "
                         "and print a span/counter summary")
+    p.add_argument("--deterministic", action="store_true",
+                   help="deterministic energy reductions (bitwise "
+                        "reproducible trajectories and resumes)")
+    p.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="write crash-safe checkpoints to PATH during the run")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="checkpoint every N retired steps (0 disables)")
+    p.add_argument("--resume", metavar="PATH", default=None,
+                   help="resume the trajectory from a checkpoint file")
     p.set_defaults(func=cmd_aimd)
 
     p = sub.add_parser("project", help="exascale projection (Table V style)")

@@ -1,6 +1,16 @@
 """Ab initio molecular dynamics: NVE Verlet, sync and async scheduling."""
 
+from ..numerics import NumericalDivergenceError
 from .aimd import Trajectory, run_aimd
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    atomic_savez,
+    atomic_write_bytes,
+    read_checkpoint,
+    write_checkpoint,
+)
 from .drivers import (
     DriverReport,
     FailurePolicy,
@@ -24,7 +34,15 @@ from .trajio import load_restart, read_trajectory_xyz, save_restart, write_traje
 __all__ = [
     "AsyncCoordinator",
     "BerendsenThermostat",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
     "DriverReport",
+    "NumericalDivergenceError",
+    "atomic_savez",
+    "atomic_write_bytes",
+    "read_checkpoint",
+    "write_checkpoint",
     "FailurePolicy",
     "FaultInjectingCalculator",
     "FragmentStub",

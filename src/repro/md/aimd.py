@@ -15,6 +15,8 @@ import numpy as np
 from ..chem.molecule import Molecule
 from ..frag.mbe import build_plan, mbe_energy_gradient
 from ..frag.monomer import FragmentedSystem
+from ..numerics import ensure_finite
+from .checkpoint import Checkpoint, CheckpointError, write_checkpoint
 from .integrators import (
     fs_to_au,
     kinetic_energy,
@@ -69,6 +71,10 @@ def run_aimd(
     smooth_switching: bool = False,
     switch_on_factor: float = 0.85,
     thermostat=None,
+    tracer=None,
+    checkpoint_path=None,
+    checkpoint_every: int = 0,
+    resume: Checkpoint | None = None,
 ) -> Trajectory:
     """Synchronous NVE velocity-Verlet dynamics.
 
@@ -84,6 +90,17 @@ def run_aimd(
 
     ``thermostat`` (an object with ``apply(velocities, masses, dt_fs)``,
     see `repro.md.thermostats`) switches the run from NVE to NVT.
+
+    Resilience: every force evaluation passes a NaN/Inf sentinel
+    (`NumericalDivergenceError` on divergence — nothing non-finite ever
+    enters the integrator).  With ``checkpoint_path`` and
+    ``checkpoint_every > 0``, a crash-safe checkpoint (atomic write,
+    checksummed; see `repro.md.checkpoint`) is written between steps at
+    every multiple of ``checkpoint_every`` that is also a replan
+    boundary, so a resumed run rebuilds the identical fragment plan and
+    continues bitwise-exactly.  Pass a loaded `Checkpoint` as ``resume``
+    to continue an interrupted trajectory; the returned `Trajectory`
+    then contains the full history (checkpointed frames + new frames).
     """
     fragmented = isinstance(mol_or_system, FragmentedSystem)
     parent = mol_or_system.parent if fragmented else mol_or_system
@@ -95,9 +112,32 @@ def run_aimd(
     else:
         velocities = velocities.copy()
 
+    traj = Trajectory()
+    start_step = 0
+    if resume is not None:
+        if resume.coords.shape != parent.coords.shape:
+            raise CheckpointError(
+                f"checkpoint is for {resume.coords.shape[0]} atoms, "
+                f"system has {parent.natoms}"
+            )
+        start_step = int(resume.step)
+        coords = np.array(resume.coords, dtype=float, copy=True)
+        velocities = np.array(resume.velocities, dtype=float, copy=True)
+        traj.times_fs = [float(t) for t in resume.times_fs]
+        traj.potential = [float(e) for e in resume.potential]
+        traj.kinetic = [float(e) for e in resume.kinetic]
+        if resume.frame_coords is not None:
+            traj.coords = [np.array(c) for c in resume.frame_coords]
+            traj.velocities = [np.array(v) for v in resume.frame_velocities]
+        traj.wall_times = [0.0] * max(len(traj.times_fs) - 1, 0)
+        if thermostat is not None and resume.thermostat is not None:
+            thermostat.load_state_dict(resume.thermostat)
+        if tracer:
+            tracer.instant("resume", cat="checkpoint", step=start_step)
+
     plan = None
 
-    def force_fn(c: np.ndarray) -> tuple[float, np.ndarray]:
+    def raw_force_fn(c: np.ndarray) -> tuple[float, np.ndarray]:
         nonlocal plan
         if not fragmented:
             e, g = calculator.energy_gradient(parent.with_coords(c))
@@ -125,14 +165,59 @@ def run_aimd(
         e, g = mbe_energy_gradient(mol_or_system, plan, calculator, coords=c)
         return e, -g
 
-    traj = Trajectory()
+    def force_fn(c: np.ndarray) -> tuple[float, np.ndarray]:
+        e, f = raw_force_fn(c)
+        # divergence sentinel: NaN/Inf must never reach the integrator
+        ensure_finite("aimd force evaluation", energy=e, forces=f)
+        return e, f
+
+    def maybe_checkpoint(step: int) -> None:
+        if not checkpoint_path or checkpoint_every <= 0 or step <= start_step:
+            return
+        if step % checkpoint_every != 0:
+            return
+        # only checkpoint where the fragment plan is freshly rebuilt, so
+        # a resumed run re-derives the identical plan from the resumed
+        # coordinates (pre-formed lists from mid-window are not portable;
+        # replan_interval=0 freezes the step-0 plan forever, which a
+        # resume cannot reconstruct, so no checkpoints are written then)
+        if fragmented and (
+            not replan_interval or step % replan_interval != 0
+        ):
+            return
+        write_checkpoint(
+            checkpoint_path,
+            Checkpoint(
+                step=step,
+                time_fs=step * dt_fs,
+                coords=coords.copy(),
+                velocities=velocities.copy(),
+                symbols=tuple(parent.symbols),
+                charge=parent.charge,
+                times_fs=np.asarray(traj.times_fs),
+                potential=np.asarray(traj.potential),
+                kinetic=np.asarray(traj.kinetic),
+                frame_coords=np.asarray(traj.coords),
+                frame_velocities=np.asarray(traj.velocities),
+                thermostat=(
+                    thermostat.state_dict()
+                    if thermostat is not None
+                    and hasattr(thermostat, "state_dict")
+                    else None
+                ),
+            ),
+            tracer=tracer,
+        )
+
     e_pot, forces = force_fn(coords)
-    for step in range(nsteps + 1):
-        traj.times_fs.append(step * dt_fs)
-        traj.potential.append(e_pot)
-        traj.kinetic.append(kinetic_energy(masses, velocities))
-        traj.coords.append(coords.copy())
-        traj.velocities.append(velocities.copy())
+    for step in range(start_step, nsteps + 1):
+        if step > start_step or resume is None:
+            traj.times_fs.append(step * dt_fs)
+            traj.potential.append(e_pot)
+            traj.kinetic.append(kinetic_energy(masses, velocities))
+            traj.coords.append(coords.copy())
+            traj.velocities.append(velocities.copy())
+        maybe_checkpoint(step)
         if step == nsteps:
             break
         if fragmented and replan_interval and step % replan_interval == 0:

@@ -1,0 +1,277 @@
+"""Crash-safe checkpoint/resume for AIMD trajectories.
+
+A multi-hour trajectory over thousands of fragment solves must survive a
+mid-run kill (node loss, scheduler preemption, OOM) without losing the
+whole run.  This module provides the persistence layer:
+
+* **Versioned** — every file carries a magic string and a format
+  version; readers reject files they do not understand instead of
+  mis-parsing them.
+* **Checksummed** — a SHA-256 digest over every payload array is stored
+  in the file and re-verified on load, so torn or bit-rotted files fail
+  loudly as `CheckpointError`, never as silently-wrong dynamics.
+* **Atomically written** — the payload is serialized in memory, written
+  to a temporary file in the target directory, fsynced, and
+  ``os.replace``d over the destination.  A kill at any instant leaves
+  either the previous checkpoint or the new one, never a torn file.
+
+A `Checkpoint` carries everything needed for *exact* continuation:
+coordinates, velocities, and time at a consistent integer step, the
+per-step energy history up to that step (and, for the synchronous
+driver, full frame history), thermostat state including its RNG stream,
+and the fault-tolerance `DriverReport` counters accumulated so far.
+With the coordinator's deterministic-reduction mode the resumed
+trajectory is bitwise identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+#: file-format identity: readers refuse anything else
+CHECKPOINT_MAGIC = "repro-aimd-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is corrupt, incompatible, or mismatched.
+
+    Raised on bad magic/version, checksum failure, missing payload
+    arrays, malformed containers, and molecule mismatch on resume.
+    """
+
+
+@dataclass
+class Checkpoint:
+    """One consistent snapshot of a running AIMD trajectory."""
+
+    #: integer time step the snapshot is taken at (between steps)
+    step: int
+    time_fs: float
+    coords: np.ndarray
+    velocities: np.ndarray
+    #: identity of the system, validated on resume
+    symbols: tuple[str, ...]
+    charge: int = 0
+    #: per-step energy history for steps <= ``step``
+    times_fs: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    potential: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    kinetic: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: full frame history (synchronous driver only; empty otherwise)
+    frame_coords: np.ndarray | None = None
+    frame_velocities: np.ndarray | None = None
+    #: opaque thermostat state (incl. RNG stream), JSON-serializable
+    thermostat: dict | None = None
+    #: fault-tolerance counters accumulated before the snapshot
+    driver: dict | None = None
+    #: scheduler reference monomer (preserved so a resumed async run
+    #: replays the same task priority order)
+    reference: int | None = None
+    version: int = CHECKPOINT_VERSION
+
+
+# --------------------------------------------------------------------------
+# atomic write
+# --------------------------------------------------------------------------
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + os.replace).
+
+    The temporary file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename — atomic on POSIX.  The
+    directory entry is fsynced afterwards so the rename itself survives
+    a power loss.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:
+        dirfd = os.open(path.parent if str(path.parent) else ".", os.O_RDONLY)
+        try:
+            os.fsync(dirfd)
+        finally:
+            os.close(dirfd)
+    except OSError:
+        # platform without directory fsync; the file itself is durable
+        pass
+
+
+def atomic_savez(path: str | Path, **arrays) -> None:
+    """``np.savez`` through `atomic_write_bytes` (exact path, no torn file)."""
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    atomic_write_bytes(path, buf.getvalue())
+
+
+# --------------------------------------------------------------------------
+# serialization
+# --------------------------------------------------------------------------
+
+def _payload_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over every payload array in canonical (sorted-name) order."""
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        a = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def write_checkpoint(path: str | Path, ckpt: Checkpoint, tracer=None) -> None:
+    """Serialize and atomically write a checkpoint.
+
+    Emits a ``checkpoint.write`` tracer instant when a tracer is given.
+    """
+    meta = {
+        "magic": CHECKPOINT_MAGIC,
+        "version": int(ckpt.version),
+        "step": int(ckpt.step),
+        "time_fs": float(ckpt.time_fs),
+        "symbols": list(ckpt.symbols),
+        "charge": int(ckpt.charge),
+        "thermostat": ckpt.thermostat,
+        "driver": ckpt.driver,
+        "reference": ckpt.reference,
+    }
+    arrays: dict[str, np.ndarray] = {
+        "coords": np.asarray(ckpt.coords, dtype=float),
+        "velocities": np.asarray(ckpt.velocities, dtype=float),
+        "times_fs": np.asarray(ckpt.times_fs, dtype=float),
+        "potential": np.asarray(ckpt.potential, dtype=float),
+        "kinetic": np.asarray(ckpt.kinetic, dtype=float),
+        "meta": np.array(json.dumps(meta)),
+    }
+    natoms = arrays["coords"].shape[0]
+    if ckpt.frame_coords is not None and len(ckpt.frame_coords):
+        arrays["frame_coords"] = np.asarray(
+            ckpt.frame_coords, dtype=float
+        ).reshape(-1, natoms, 3)
+        arrays["frame_velocities"] = np.asarray(
+            ckpt.frame_velocities, dtype=float
+        ).reshape(-1, natoms, 3)
+    arrays["checksum"] = np.array(_payload_checksum(arrays))
+    atomic_savez(path, **arrays)
+    if tracer:
+        tracer.instant(
+            "checkpoint.write", cat="checkpoint",
+            step=int(ckpt.step), path=str(path),
+        )
+
+
+def read_checkpoint(path: str | Path, mol=None) -> Checkpoint:
+    """Load and validate a checkpoint.
+
+    Args:
+        path: file written by `write_checkpoint`.
+        mol: optional `Molecule`; when given, the checkpoint's system
+            identity (symbols, charge, atom count) must match.
+
+    Raises:
+        CheckpointError: on any corruption, version, or identity
+            mismatch — the caller never sees a half-trusted state.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            payload = {name: data[name] for name in data.files}
+    except Exception as err:
+        raise CheckpointError(
+            f"unreadable checkpoint {path}: {err!r}"
+        ) from err
+
+    stored_sum = payload.pop("checksum", None)
+    if stored_sum is None:
+        raise CheckpointError(f"checkpoint {path} carries no checksum")
+    actual = _payload_checksum(payload)
+    if str(stored_sum) != actual:
+        raise CheckpointError(
+            f"checkpoint {path} failed checksum verification "
+            f"(stored {str(stored_sum)[:12]}..., computed {actual[:12]}...)"
+        )
+
+    try:
+        meta = json.loads(str(payload["meta"]))
+    except (KeyError, json.JSONDecodeError) as err:
+        raise CheckpointError(
+            f"checkpoint {path} has a malformed metadata block"
+        ) from err
+    if meta.get("magic") != CHECKPOINT_MAGIC:
+        raise CheckpointError(
+            f"{path} is not a repro AIMD checkpoint "
+            f"(magic={meta.get('magic')!r})"
+        )
+    version = meta.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {version}; "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    required = ("coords", "velocities", "times_fs", "potential", "kinetic")
+    missing = [k for k in required if k not in payload]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint {path} is missing arrays: {missing}"
+        )
+    coords = payload["coords"]
+    velocities = payload["velocities"]
+    if coords.shape != velocities.shape or coords.ndim != 2 \
+            or coords.shape[1] != 3:
+        raise CheckpointError(
+            f"checkpoint {path} has inconsistent state shapes "
+            f"coords{coords.shape} velocities{velocities.shape}"
+        )
+    symbols = tuple(meta.get("symbols", ()))
+    if len(symbols) != coords.shape[0]:
+        raise CheckpointError(
+            f"checkpoint {path}: {len(symbols)} symbols for "
+            f"{coords.shape[0]} coordinate rows"
+        )
+    if mol is not None:
+        if tuple(mol.symbols) != symbols or int(mol.charge) != int(
+            meta.get("charge", 0)
+        ):
+            raise CheckpointError(
+                f"checkpoint {path} was written for "
+                f"{''.join(symbols)} (charge {meta.get('charge', 0)}), "
+                f"not {''.join(mol.symbols)} (charge {mol.charge}) — "
+                "refusing to resume a different system"
+            )
+    return Checkpoint(
+        step=int(meta["step"]),
+        time_fs=float(meta["time_fs"]),
+        coords=coords,
+        velocities=velocities,
+        symbols=symbols,
+        charge=int(meta.get("charge", 0)),
+        times_fs=payload["times_fs"],
+        potential=payload["potential"],
+        kinetic=payload["kinetic"],
+        frame_coords=payload.get("frame_coords"),
+        frame_velocities=payload.get("frame_velocities"),
+        thermostat=meta.get("thermostat"),
+        driver=meta.get("driver"),
+        reference=meta.get("reference"),
+        version=int(version),
+    )

@@ -44,6 +44,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import ClassVar
 
+from ..numerics import ensure_finite
+from ..scf.rhf import SCFConvergenceError
 from .scheduler import AsyncCoordinator
 
 
@@ -109,12 +111,15 @@ class FaultInjectingCalculator:
     A fragment *matches* when its atom count is in ``fail_natoms``
     (``None`` matches every fragment). Matching fragments fail while
     ``attempt < fail_attempts`` — so with ``fail_attempts=2`` a task
-    fails twice and succeeds on its third dispatch — in one of three
+    fails twice and succeeds on its third dispatch — in one of five
     modes: ``raise`` (a `TransientWorkerError`), ``hang`` (sleep for
-    ``hang_s``, exercising timeout detection), or ``exit`` (kill the
-    worker process, exercising pool rebuild). Because the decision
-    depends only on the molecule and the attempt number the driver
-    passes in, runs are reproducible across process pools.
+    ``hang_s``, exercising timeout detection), ``exit`` (kill the
+    worker process, exercising pool rebuild), ``scf_fail`` (an
+    `SCFConvergenceError`, modelling a fragment whose recovery cascade
+    is exhausted), or ``nan_forces`` (a finite energy with an all-NaN
+    gradient, exercising the worker-side divergence sentinel). Because
+    the decision depends only on the molecule and the attempt number
+    the driver passes in, runs are reproducible across process pools.
     """
 
     inner: object
@@ -140,6 +145,16 @@ class FaultInjectingCalculator:
                 time.sleep(self.hang_s)
             elif self.mode == "exit":
                 os._exit(13)
+            elif self.mode == "scf_fail":
+                raise SCFConvergenceError(
+                    f"injected SCF non-convergence: attempt {attempt} on "
+                    f"{mol.natoms}-atom fragment"
+                )
+            elif self.mode == "nan_forces":
+                import numpy as np
+
+                e, g = self.inner.energy_gradient(mol)
+                return e, np.full_like(np.asarray(g, dtype=float), np.nan)
             raise TransientWorkerError(
                 f"injected fault: attempt {attempt} on "
                 f"{mol.natoms}-atom fragment"
@@ -148,10 +163,23 @@ class FaultInjectingCalculator:
 
 
 def _evaluate(calculator, molecule, attempt: int):
-    """Worker-side entry point; forwards the attempt number if supported."""
+    """Worker-side entry point; forwards the attempt number if supported.
+
+    Results pass a NaN/Inf sentinel before leaving the worker: silent
+    divergence becomes a typed `NumericalDivergenceError` that travels
+    back through the future and is retried/quarantined like any other
+    worker failure.
+    """
     if getattr(calculator, "accepts_attempt", False):
-        return calculator.energy_gradient(molecule, attempt=attempt)
-    return calculator.energy_gradient(molecule)
+        e, g = calculator.energy_gradient(molecule, attempt=attempt)
+    else:
+        e, g = calculator.energy_gradient(molecule)
+    ensure_finite(
+        f"worker result for {getattr(molecule, 'natoms', '?')}-atom "
+        f"fragment (attempt {attempt})",
+        energy=e, gradient=g,
+    )
+    return e, g
 
 
 @dataclass
@@ -172,6 +200,7 @@ def run_parallel(
     policy: FailurePolicy | None = None,
     tracer=None,
     mp_start: str = "fork",
+    report: DriverReport | None = None,
 ) -> DriverReport:
     """Drive a coordinator to completion with a fault-tolerant pool.
 
@@ -180,11 +209,17 @@ def run_parallel(
     which are picked up immediately — the asynchronous overlap the paper
     exploits. Worker exceptions, dead workers, and hangs are handled per
     ``policy``; the returned `DriverReport` records what happened.
+
+    Pass ``report`` to continue accumulating counters across a
+    checkpoint/resume boundary; the report is also attached to the
+    coordinator (``coordinator.driver_report``) so periodic checkpoints
+    record the fault-handling history alongside the dynamics.
     """
     policy = policy or FailurePolicy()
     if tracer is None:
         tracer = coordinator.tracer
-    report = DriverReport()
+    report = report if report is not None else DriverReport()
+    coordinator.driver_report = report
     ctx = mp.get_context(mp_start)
     pool = ProcessPoolExecutor(max_workers=nworkers, mp_context=ctx)
     flights: dict = {}

@@ -40,6 +40,8 @@ import numpy as np
 from ..chem.molecule import Molecule
 from ..frag.mbe import MBEPlan, build_plan
 from ..frag.monomer import FragmentedSystem
+from ..numerics import ensure_finite
+from .checkpoint import Checkpoint, CheckpointError, write_checkpoint
 from .integrators import fs_to_au, maxwell_boltzmann_velocities
 
 
@@ -95,6 +97,9 @@ class AsyncCoordinator:
         build_molecules: bool = True,
         tracer=None,
         deterministic: bool = False,
+        checkpoint_path=None,
+        checkpoint_every: int = 0,
+        resume: Checkpoint | None = None,
     ) -> None:
         self.system = system
         self.nsteps = nsteps
@@ -106,6 +111,14 @@ class AsyncCoordinator:
         self.replan_interval = max(1, replan_interval)
         self.synchronous = synchronous
         self.clock = clock
+        #: crash-safe checkpointing (see `repro.md.checkpoint`): written
+        #: at the consistent retired-step cut — a step every monomer has
+        #: fully integrated — at replan-aligned multiples of
+        #: ``checkpoint_every``
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        #: set by `run_parallel` so checkpoints carry fault counters
+        self.driver_report = None
         #: optional `repro.trace.Tracer` (duck-typed); every emission is
         #: guarded so the disabled path costs one attribute check
         self.tracer = tracer
@@ -120,13 +133,43 @@ class AsyncCoordinator:
 
         parent = system.parent
         self.masses = parent.masses_au
-        self.coords = parent.coords.copy()
-        if velocities is None:
-            self.velocities = maxwell_boltzmann_velocities(
-                self.masses, temperature_k, seed=seed
+        self.start_step = 0
+        if resume is not None:
+            if resume.coords.shape != parent.coords.shape:
+                raise CheckpointError(
+                    f"checkpoint is for {resume.coords.shape[0]} atoms, "
+                    f"system has {parent.natoms}"
+                )
+            self.start_step = int(resume.step)
+            if self.start_step % self.replan_interval != 0:
+                raise CheckpointError(
+                    f"checkpoint step {self.start_step} is not aligned to "
+                    f"replan_interval={self.replan_interval}; the fragment "
+                    "plan cannot be reconstructed mid-window"
+                )
+            if self.start_step > nsteps:
+                raise CheckpointError(
+                    f"checkpoint step {self.start_step} is beyond "
+                    f"nsteps={nsteps}"
+                )
+            self.coords = np.array(resume.coords, dtype=float, copy=True)
+            self.velocities = np.array(
+                resume.velocities, dtype=float, copy=True
             )
+            if reference is None and resume.reference is not None:
+                # replay the same sweep order as the interrupted run
+                reference = int(resume.reference)
+            if tracer:
+                tracer.instant("resume", cat="checkpoint",
+                               step=self.start_step)
         else:
-            self.velocities = velocities.copy()
+            self.coords = parent.coords.copy()
+            if velocities is None:
+                self.velocities = maxwell_boltzmann_velocities(
+                    self.masses, temperature_k, seed=seed
+                )
+            else:
+                self.velocities = velocities.copy()
 
         self.build_molecules = build_molecules
         nmono = system.nmonomers
@@ -156,10 +199,14 @@ class AsyncCoordinator:
         self.reference = reference
 
         #: per-monomer time step index (completed integrations)
-        self.monomer_time = np.zeros(nmono, dtype=int)
+        self.monomer_time = np.full(nmono, self.start_step, dtype=int)
         self.monomer_done = np.zeros(nmono, dtype=bool)
         #: coordinates of each monomer at each step it has reached
-        self.coords_at: dict[int, np.ndarray] = {0: parent.coords.copy()}
+        self.coords_at: dict[int, np.ndarray] = {
+            self.start_step: self.coords.copy()
+        }
+        #: integer-step velocity snapshots for checkpoint-candidate steps
+        self._vel_at: dict[int, np.ndarray] = {}
 
         # per-step accumulation state. Entries are evicted once a step is
         # fully retired (every polymer completed, every monomer integrated
@@ -178,7 +225,7 @@ class AsyncCoordinator:
         #: deterministic mode: step -> {monomer -> kinetic energy}
         self._ke_parts: dict[int, dict[int, float]] = {}
         #: lowest step whose buffers have not been evicted yet
-        self._evict_floor = 0
+        self._evict_floor = self.start_step
         #: high-water mark of simultaneously live (un-evicted) steps
         self.max_live_steps = 0
         self.steps_evicted = 0
@@ -186,6 +233,15 @@ class AsyncCoordinator:
         # results
         self.potential_energies: dict[int, float] = {}
         self.kinetic_energies: dict[int, float] = {}
+        if resume is not None:
+            # restore the energy history so trajectory_energies() spans
+            # the whole run, not just the resumed tail
+            for t, pe, ke in zip(
+                resume.times_fs, resume.potential, resume.kinetic
+            ):
+                s = int(round(float(t) / dt_fs))
+                self.potential_energies[s] = float(pe)
+                self.kinetic_energies[s] = float(ke)
         self.step_finish_time: dict[int, float] = {}
         self.start_time = self.clock()
 
@@ -193,13 +249,14 @@ class AsyncCoordinator:
         self.plans: dict[int, MBEPlan] = {}
         self._plan_touch: dict[int, dict[tuple, list[int]]] = {}
         self._plan_mono_keys: dict[int, dict[int, list[tuple]]] = {}
-        self._build_plan_window(0)
+        w0 = self._window_start(self.start_step)
+        self._build_plan_window(w0)
 
         self._heap: list = []
         self._seq = 0
         self.in_flight = 0
         self.tasks_issued = 0
-        for step in self._steps_of_window(0):
+        for step in self._steps_of_window(w0):
             self._try_release_step_polymers(step)
 
     # ------------------------------------------------------------------
@@ -411,11 +468,67 @@ class AsyncCoordinator:
                 self.coords_at, self._grad, self._pe, self._pending_total,
                 self._pending_monomer, self._queued, self._ke,
                 self._ke_done, self._ref_cent_cache, self._contrib,
-                self._ke_parts,
+                self._ke_parts, self._vel_at,
             ):
                 d.pop(s, None)
             self.steps_evicted += 1
             self._evict_floor += 1
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint_candidate(self, step: int) -> bool:
+        """True for steps eligible to be checkpointed.
+
+        Candidates must be replan-window starts (so a resumed run
+        rebuilds the identical fragment plan from the checkpointed
+        coordinates) in addition to being multiples of
+        ``checkpoint_every``.
+        """
+        return (
+            self.checkpoint_path is not None
+            and self.checkpoint_every > 0
+            and step > self.start_step
+            and step % self.checkpoint_every == 0
+            and step % self.replan_interval == 0
+        )
+
+    def _write_checkpoint(self, step: int) -> None:
+        """Write a crash-safe snapshot of the consistent cut at ``step``."""
+        steps = sorted(
+            s for s in self.potential_energies
+            if s <= step and s in self.kinetic_energies
+        )
+        parent = self.system.parent
+        report = self.driver_report
+        driver = None
+        if report is not None:
+            driver = {
+                "tasks_completed": report.tasks_completed,
+                "retries": report.retries,
+                "pool_restarts": report.pool_restarts,
+                "timeouts": report.timeouts,
+                "quarantined": len(report.quarantined),
+            }
+        write_checkpoint(
+            self.checkpoint_path,
+            Checkpoint(
+                step=step,
+                time_fs=step * self.dt_fs,
+                coords=self.coords_at[step].copy(),
+                velocities=self._vel_at.pop(step),
+                symbols=tuple(parent.symbols),
+                charge=parent.charge,
+                times_fs=np.array([s * self.dt_fs for s in steps]),
+                potential=np.array(
+                    [self.potential_energies[s] for s in steps]
+                ),
+                kinetic=np.array([self.kinetic_energies[s] for s in steps]),
+                driver=driver,
+                reference=int(self.reference),
+            ),
+            tracer=self.tracer,
+        )
 
     @property
     def live_steps(self) -> int:
@@ -447,13 +560,21 @@ class AsyncCoordinator:
         else:
             grad_rows = self._grad[step][rows]
         acc = -grad_rows / self.masses[rows, None]
-        if step > 0:
-            # second half-kick completing the previous step
+        if step > self.start_step:
+            # second half-kick completing the previous step (on resume,
+            # the checkpointed velocities are already at the integer
+            # step, so the first integration skips it exactly as a fresh
+            # run does at step 0)
             self.velocities[rows] += 0.5 * self.dt * acc
         # kinetic energy at integer step
         ke = 0.5 * float(
             np.sum(self.masses[rows, None] * self.velocities[rows] ** 2)
         )
+        if self._checkpoint_candidate(step):
+            # snapshot the integer-step velocity of this monomer before
+            # the first half-kick advances it into the next step
+            buf = self._vel_at.setdefault(step, np.zeros_like(self.velocities))
+            buf[rows] = self.velocities[rows]
         if self.deterministic:
             self._ke_parts[step][m] = ke
         else:
@@ -464,6 +585,12 @@ class AsyncCoordinator:
                 parts = self._ke_parts[step]
                 self._ke[step] = sum(parts[i] for i in sorted(parts))
             self.kinetic_energies[step] = self._ke[step]
+            if self._checkpoint_candidate(step):
+                # every monomer has integrated through this step: the
+                # (coords_at[step], vel_at[step]) pair is a consistent
+                # cut of the trajectory even while other monomers race
+                # ahead into later steps
+                self._write_checkpoint(step)
         if step >= self.nsteps:
             self.monomer_done[m] = True
             return
@@ -554,4 +681,9 @@ def run_serial(coordinator: AsyncCoordinator, calculator, tracer=None) -> None:
                 e, g = calculator.energy_gradient(task.molecule)
         else:
             e, g = calculator.energy_gradient(task.molecule)
+        # divergence sentinel: a NaN contribution would silently poison
+        # the accumulated MBE gradient of every atom the polymer touches
+        ensure_finite(
+            f"polymer {task.key} (step {task.step})", energy=e, gradient=g
+        )
         coordinator.complete(task, e, g)

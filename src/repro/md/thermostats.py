@@ -36,6 +36,13 @@ class BerendsenThermostat:
         lam2 = 1.0 + (dt_fs / self.tau_fs) * (self.temperature_k / t_now - 1.0)
         return velocities * np.sqrt(max(lam2, 0.0))
 
+    def state_dict(self) -> dict:
+        """Checkpointable state (stateless: parameters only)."""
+        return {"kind": "berendsen"}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore from `state_dict` output (no mutable state to restore)."""
+
 
 @dataclass
 class LangevinThermostat:
@@ -57,3 +64,16 @@ class LangevinThermostat:
         )
         noise = self._rng.standard_normal(velocities.shape) * sigma[:, None]
         return c1 * velocities + noise
+
+    def state_dict(self) -> dict:
+        """Checkpointable state: the RNG stream position.
+
+        The bit-generator state is a JSON-serializable dict of Python
+        ints, so a resumed run draws exactly the noise sequence the
+        uninterrupted run would have drawn.
+        """
+        return {"kind": "langevin", "rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the RNG stream recorded by `state_dict`."""
+        self._rng.bit_generator.state = state["rng"]

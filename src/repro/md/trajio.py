@@ -9,6 +9,7 @@ import numpy as np
 from ..chem.molecule import Molecule
 from ..chem.xyz import format_xyz
 from .aimd import Trajectory
+from .checkpoint import atomic_savez
 
 
 def write_trajectory_xyz(
@@ -69,18 +70,68 @@ def read_trajectory_xyz(path: str | Path) -> tuple[Molecule, Trajectory]:
 
 
 def save_restart(path: str | Path, traj: Trajectory) -> None:
-    """Persist the final MD frame (coords, velocities, time) as .npz."""
+    """Persist the final MD frame (coords, velocities, time) as .npz.
+
+    The file is written atomically (tmp + fsync + ``os.replace``) so a
+    crash mid-write leaves the previous restart intact instead of a
+    torn archive.
+    """
     if not traj.coords or not traj.velocities:
         raise ValueError("trajectory carries no restart state")
-    np.savez(
+    path = str(path)
+    if not path.endswith(".npz"):
+        # np.savez appends .npz to bare paths; keep that contract
+        path += ".npz"
+    atomic_savez(
         path,
-        coords=traj.coords[-1],
-        velocities=traj.velocities[-1],
-        time_fs=traj.times_fs[-1],
+        coords=np.asarray(traj.coords[-1], dtype=float),
+        velocities=np.asarray(traj.velocities[-1], dtype=float),
+        time_fs=np.asarray(traj.times_fs[-1], dtype=float),
     )
 
 
-def load_restart(path: str | Path) -> tuple[np.ndarray, np.ndarray, float]:
-    """Load a restart file: ``(coords, velocities, time_fs)``."""
-    data = np.load(path)
-    return data["coords"], data["velocities"], float(data["time_fs"])
+def load_restart(
+    path: str | Path, mol: Molecule | None = None
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Load a restart file: ``(coords, velocities, time_fs)``.
+
+    Args:
+        path: file written by `save_restart`.
+        mol: optional molecule; when given, array shapes are validated
+            against it so a restart from the wrong system fails loudly.
+
+    Raises:
+        ValueError: on a corrupt/truncated archive, missing arrays,
+            malformed shapes, or a molecule mismatch.
+    """
+    try:
+        data = np.load(path, allow_pickle=False)
+    except Exception as err:
+        raise ValueError(
+            f"corrupt or unreadable restart file {path}: {err!r}"
+        ) from err
+    with data:
+        missing = [
+            k for k in ("coords", "velocities", "time_fs")
+            if k not in data.files
+        ]
+        if missing:
+            raise ValueError(
+                f"restart file {path} is missing arrays: {missing}"
+            )
+        coords = np.asarray(data["coords"], dtype=float)
+        velocities = np.asarray(data["velocities"], dtype=float)
+        time_fs = float(data["time_fs"])
+    if coords.ndim != 2 or coords.shape[1] != 3 \
+            or coords.shape != velocities.shape:
+        raise ValueError(
+            f"restart file {path} has malformed state shapes "
+            f"coords{coords.shape} velocities{velocities.shape}"
+        )
+    if mol is not None and coords.shape[0] != mol.natoms:
+        raise ValueError(
+            f"restart file {path} holds {coords.shape[0]} atoms but the "
+            f"molecule has {mol.natoms} — refusing to restart a "
+            "different system"
+        )
+    return coords, velocities, time_fs

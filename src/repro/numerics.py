@@ -1,0 +1,48 @@
+"""Numerical-divergence sentinels shared across the SCF, calculator, and
+MD layers.
+
+At the paper's scale a trajectory is only as trustworthy as its weakest
+fragment solve: a NaN that leaks out of one polymer gradient silently
+corrupts every atom it touches once the MBE accumulation runs.  The
+resilience design therefore makes divergence *typed*: any layer that
+detects a non-finite energy, Fock matrix, density, or force raises
+`NumericalDivergenceError`, which the fault-tolerant drivers treat
+exactly like a worker exception — retried, then quarantined or fatal per
+`FailurePolicy` — instead of letting garbage reach the integrator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NumericalDivergenceError(RuntimeError):
+    """A computed quantity contains NaN/Inf (diverged numerics).
+
+    Raised by the SCF loop, the calculators, and the MD force path when
+    a sentinel check fails.  Distinct from `SCFConvergenceError` (which
+    means "ran out of iterations"): divergence means the numbers
+    themselves are garbage and no downstream consumer may use them.
+    """
+
+
+def ensure_finite(context: str, **quantities) -> None:
+    """Raise `NumericalDivergenceError` if any named quantity is non-finite.
+
+    Args:
+        context: human-readable origin ("SCF iteration 12", "aimd forces")
+            included in the error message.
+        **quantities: name -> scalar or array.  ``None`` values are
+            skipped so optional gradients can be passed unconditionally.
+    """
+    for name, value in quantities.items():
+        if value is None:
+            continue
+        arr = np.asarray(value)
+        finite = np.isfinite(arr)
+        if not finite.all():
+            nbad = int(arr.size - np.count_nonzero(finite))
+            raise NumericalDivergenceError(
+                f"{context}: non-finite {name} "
+                f"({nbad}/{arr.size} entries NaN/Inf)"
+            )

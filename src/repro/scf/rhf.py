@@ -19,6 +19,7 @@ from ..basis.basisset import BasisSet
 from ..chem.molecule import Molecule
 from ..gemm import gemm, sym_inv_sqrt, eigh_gen
 from ..integrals import eri2c, eri3c, eri4c, hcore, overlap
+from ..numerics import NumericalDivergenceError
 from .diis import DIIS
 
 
@@ -56,6 +57,9 @@ class SCFResult:
     J2c: np.ndarray | None = None
     Jih: np.ndarray | None = None  # J^{-1/2}
     eri: np.ndarray | None = None  # conventional 4c tensor if built
+    #: recovery-cascade stages attempted before this solve succeeded
+    #: (empty when the bare loop converged on the first try)
+    recovery: tuple[str, ...] = ()
 
     @property
     def C_occ(self) -> np.ndarray:
@@ -125,6 +129,8 @@ def rhf(
     level_shift: float = 0.0,
     h_extra: np.ndarray | None = None,
     guess: str = "gwh",
+    damping: float = 0.0,
+    diis_restart: int = 0,
 ) -> SCFResult:
     """Solve restricted closed-shell Hartree-Fock.
 
@@ -143,14 +149,27 @@ def rhf(
         guess: initial-density scheme: "gwh" (generalized
             Wolfsberg-Helmholz, default) or "core" (bare core
             Hamiltonian).
+        damping: density-damping fraction in [0, 1): the new density is
+            mixed as ``(1 - damping) D_new + damping D_old``.  0 (the
+            default) reproduces the undamped loop exactly.
+        diis_restart: if > 0, discard the accumulated DIIS subspace
+            every ``diis_restart`` iterations — a stale, ill-conditioned
+            subspace is a classic source of SCF limit cycles.
 
     Returns:
         `SCFResult` with the converged state and reusable RI tensors.
 
     Raises:
         SCFConvergenceError: if not converged within ``max_iter``.
-        ValueError: for open-shell electron counts.
+        NumericalDivergenceError: if the energy, Fock matrix, or density
+            goes NaN/Inf mid-iteration (divergence, not slow
+            convergence).
+        ValueError: for open-shell electron counts or bad parameters.
     """
+    if not 0.0 <= damping < 1.0:
+        raise ValueError(f"damping must be in [0, 1), got {damping}")
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
     if isinstance(basis, BasisSet):
         bs = basis
         basis_name = "custom"
@@ -173,6 +192,11 @@ def rhf(
     h = hcore(bs, mol)
     if h_extra is not None:
         h = h + h_extra
+        if not np.all(np.isfinite(h)):
+            raise NumericalDivergenceError(
+                "SCF setup: non-finite core Hamiltonian after h_extra "
+                "perturbation"
+            )
     e_nuc = mol.nuclear_repulsion()
 
     B = J2 = Jih = ERI = None
@@ -206,6 +230,11 @@ def rhf(
         F = _fock_ri(h, B, D) if ri else _fock_conventional(h, ERI, D)
         e_elec = 0.5 * float(np.sum(D * (h + F)))
         energy = e_elec + e_nuc
+        if not np.isfinite(energy) or not np.all(np.isfinite(F)):
+            raise NumericalDivergenceError(
+                f"SCF iteration {it}: non-finite energy/Fock matrix "
+                f"(E={energy!r})"
+            )
         err = F @ D @ S - S @ D @ F
         err = X.T @ err @ X
         err_norm = float(np.max(np.abs(err)))
@@ -218,14 +247,27 @@ def rhf(
             # Shift the virtual space: F' = F + shift * (S - S D S / 2)
             F_iter = F + level_shift * (S - 0.5 * (S @ D @ S))
         if diis is not None:
+            if diis_restart and it % diis_restart == 0:
+                diis = DIIS(max_vecs=diis.max_vecs)
             F_iter = diis.update(F_iter, err)
         eps, C = eigh_gen(F_iter, S)
-        D = 2.0 * gemm(C[:, :nocc], C[:, :nocc].T)
+        D_new = 2.0 * gemm(C[:, :nocc], C[:, :nocc].T)
+        if damping:
+            D_new = (1.0 - damping) * D_new + damping * D
+        if not np.all(np.isfinite(D_new)):
+            raise NumericalDivergenceError(
+                f"SCF iteration {it}: non-finite density matrix"
+            )
+        D = D_new
     if not converged:
         raise SCFConvergenceError(
             f"SCF not converged in {max_iter} iterations (dE={energy - e_old:.2e})"
         )
-    # Canonical orbitals of the converged (unshifted) Fock matrix.
+    # Canonical orbitals of the converged *unshifted* Fock matrix.  The
+    # iteration above may have diagonalized shifted / DIIS-extrapolated
+    # matrices; the returned eps/C must come from the bare converged F in
+    # every code path (level shift on or off, DIIS on or off) so virtual
+    # orbital energies never carry the artificial shift.
     eps, C = eigh_gen(F, S)
     return SCFResult(
         mol=mol,

@@ -1,0 +1,467 @@
+"""Crash-safe checkpointing: format validation, kill/resume equivalence."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.calculators import PairwisePotentialCalculator
+from repro.chem import Molecule
+from repro.frag import FragmentedSystem
+from repro.md import (
+    AsyncCoordinator,
+    Checkpoint,
+    CheckpointError,
+    LangevinThermostat,
+    Trajectory,
+    atomic_savez,
+    load_restart,
+    read_checkpoint,
+    read_trajectory_xyz,
+    run_aimd,
+    run_parallel,
+    run_serial,
+    save_restart,
+    write_checkpoint,
+    write_trajectory_xyz,
+)
+from repro.md.integrators import maxwell_boltzmann_velocities
+from repro.systems import water_cluster
+
+BIG = 1.0e6
+SRC = str(Path(repro.__file__).resolve().parents[1])
+
+
+@pytest.fixture(scope="module")
+def surrogate():
+    return PairwisePotentialCalculator()
+
+
+def _full_checkpoint(mol) -> Checkpoint:
+    rng = np.random.default_rng(0)
+    return Checkpoint(
+        step=4,
+        time_fs=2.0,
+        coords=mol.coords + 0.01,
+        velocities=rng.normal(size=mol.coords.shape) * 1e-4,
+        symbols=tuple(mol.symbols),
+        charge=mol.charge,
+        times_fs=np.array([0.0, 0.5, 1.0, 1.5, 2.0]),
+        potential=rng.normal(size=5),
+        kinetic=np.abs(rng.normal(size=5)),
+        frame_coords=np.stack([mol.coords + 0.001 * i for i in range(5)]),
+        frame_velocities=np.stack(
+            [rng.normal(size=mol.coords.shape) for _ in range(5)]
+        ),
+        thermostat={"kind": "langevin", "rng": {"state": 123}},
+        driver={"tasks_completed": 7, "retries": 1},
+        reference=2,
+    )
+
+
+class TestCheckpointFormat:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        mol = water_cluster(2, seed=1)
+        ck = _full_checkpoint(mol)
+        path = tmp_path / "ck.npz"
+        write_checkpoint(path, ck)
+        back = read_checkpoint(path, mol=mol)
+        assert back.step == ck.step
+        assert back.time_fs == ck.time_fs
+        assert back.symbols == ck.symbols
+        assert back.charge == ck.charge
+        assert back.reference == 2
+        assert back.thermostat == ck.thermostat
+        assert back.driver == ck.driver
+        np.testing.assert_array_equal(back.coords, ck.coords)
+        np.testing.assert_array_equal(back.velocities, ck.velocities)
+        np.testing.assert_array_equal(back.potential, ck.potential)
+        np.testing.assert_array_equal(back.frame_coords, ck.frame_coords)
+        np.testing.assert_array_equal(
+            back.frame_velocities, ck.frame_velocities
+        )
+
+    def test_write_emits_tracer_event(self, tmp_path):
+        from repro.trace import Tracer
+
+        mol = water_cluster(1, seed=1)
+        tracer = Tracer()
+        write_checkpoint(tmp_path / "ck.npz", _full_checkpoint(mol),
+                         tracer=tracer)
+        assert any(e.get("name") == "checkpoint.write"
+                   for e in tracer.events)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            read_checkpoint(tmp_path / "nope.npz")
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        path.write_bytes(b"this is not an npz archive at all")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            read_checkpoint(path)
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        """Flipping payload bits must trip the checksum, not produce a
+        silently-wrong trajectory."""
+        mol = water_cluster(2, seed=1)
+        path = tmp_path / "ck.npz"
+        write_checkpoint(path, _full_checkpoint(mol))
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        tampered = np.array(arrays["coords"])
+        tampered[0, 0] += 1e-9  # one ulp-scale bit flip
+        arrays["coords"] = tampered
+        np.savez(path, **arrays)  # keeps the stale checksum
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(path)
+
+    def test_missing_checksum_rejected(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        np.savez(path, coords=np.zeros((3, 3)),
+                 meta=np.array(json.dumps({"magic": "x"})))
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        mol = water_cluster(1, seed=1)
+        ck = _full_checkpoint(mol)
+        ck.version = 999
+        path = tmp_path / "ck.npz"
+        write_checkpoint(path, ck)
+        with pytest.raises(CheckpointError, match="version"):
+            read_checkpoint(path)
+
+    def test_mismatched_molecule_rejected(self, tmp_path):
+        mol = water_cluster(1, seed=1)
+        path = tmp_path / "ck.npz"
+        write_checkpoint(path, _full_checkpoint(mol))
+        other = Molecule(["N", "H", "H"], mol.coords)
+        with pytest.raises(CheckpointError, match="different system"):
+            read_checkpoint(path, mol=other)
+        charged = Molecule(list(mol.symbols), mol.coords, charge=2)
+        with pytest.raises(CheckpointError, match="different system"):
+            read_checkpoint(path, mol=charged)
+
+
+class TestAtomicWrite:
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        path = tmp_path / "a.npz"
+        atomic_savez(path, x=np.arange(4))
+        atomic_savez(path, x=np.arange(8))  # overwrite in place
+        with np.load(path) as data:
+            assert data["x"].shape == (8,)
+        assert os.listdir(tmp_path) == ["a.npz"]
+
+    def test_failed_write_preserves_previous_file(self, tmp_path, monkeypatch):
+        from repro.md import checkpoint as ckmod
+
+        path = tmp_path / "a.npz"
+        atomic_savez(path, x=np.arange(4))
+
+        def boom(fd):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(ckmod.os, "fsync", boom)
+        with pytest.raises(OSError):
+            atomic_savez(path, x=np.arange(8))
+        monkeypatch.undo()
+        with np.load(path) as data:  # old content intact, no torn file
+            assert data["x"].shape == (4,)
+        assert os.listdir(tmp_path) == ["a.npz"]
+
+
+class TestRestartIO:
+    def _traj(self, mol) -> Trajectory:
+        traj = Trajectory()
+        rng = np.random.default_rng(3)
+        for i in range(3):
+            traj.times_fs.append(0.5 * i)
+            traj.potential.append(float(rng.normal()))
+            traj.kinetic.append(float(abs(rng.normal())))
+            traj.coords.append(mol.coords + 0.01 * i)
+            traj.velocities.append(rng.normal(size=mol.coords.shape))
+        return traj
+
+    def test_round_trip_with_validation(self, tmp_path):
+        mol = water_cluster(2, seed=2)
+        traj = self._traj(mol)
+        path = tmp_path / "restart.npz"
+        save_restart(path, traj)
+        coords, vel, t = load_restart(path, mol=mol)
+        np.testing.assert_array_equal(coords, traj.coords[-1])
+        np.testing.assert_array_equal(vel, traj.velocities[-1])
+        assert t == traj.times_fs[-1]
+
+    def test_bare_path_gets_npz_suffix(self, tmp_path):
+        mol = water_cluster(1, seed=2)
+        save_restart(tmp_path / "restart", self._traj(mol))
+        assert (tmp_path / "restart.npz").exists()
+
+    def test_wrong_molecule_rejected(self, tmp_path):
+        path = tmp_path / "restart.npz"
+        save_restart(path, self._traj(water_cluster(2, seed=2)))
+        with pytest.raises(ValueError, match="different system"):
+            load_restart(path, mol=water_cluster(3, seed=2))
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "restart.npz"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(ValueError, match="corrupt or unreadable"):
+            load_restart(path)
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "restart.npz"
+        np.savez(path, coords=np.zeros((3, 3)))
+        with pytest.raises(ValueError, match="missing arrays"):
+            load_restart(path)
+
+    def test_xyz_trajectory_round_trip(self, tmp_path):
+        mol = water_cluster(2, seed=2)
+        traj = self._traj(mol)
+        path = tmp_path / "traj.xyz"
+        write_trajectory_xyz(traj, mol, path)
+        mol2, traj2 = read_trajectory_xyz(path)
+        assert tuple(mol2.symbols) == tuple(mol.symbols)
+        np.testing.assert_allclose(traj2.times_fs, traj.times_fs)
+        np.testing.assert_allclose(traj2.potential, traj.potential,
+                                   atol=1e-12)
+        np.testing.assert_allclose(traj2.kinetic, traj.kinetic, atol=1e-12)
+        assert len(traj2.coords) == len(traj.coords)
+        np.testing.assert_allclose(traj2.coords[-1], traj.coords[-1],
+                                   atol=1e-5)
+
+
+def _coordinator(system, nsteps, **kw):
+    v0 = maxwell_boltzmann_velocities(system.parent.masses_au, 200, seed=8)
+    base = dict(
+        nsteps=nsteps, dt_fs=0.5, r_dimer_bohr=BIG, mbe_order=2,
+        velocities=v0, replan_interval=2, deterministic=True,
+    )
+    base.update(kw)
+    return AsyncCoordinator(system, **base)
+
+
+class TestSchedulerResume:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return FragmentedSystem.by_components(water_cluster(3, seed=2))
+
+    def test_serial_resume_is_bitwise_exact(self, system, surrogate,
+                                            tmp_path):
+        full = _coordinator(system, nsteps=8)
+        run_serial(full, surrogate)
+        ck = tmp_path / "ck.npz"
+        part = _coordinator(system, nsteps=4, checkpoint_path=ck,
+                            checkpoint_every=4)
+        run_serial(part, surrogate)
+        ckpt = read_checkpoint(ck, mol=system.parent)
+        assert ckpt.step == 4
+        resumed = _coordinator(system, nsteps=8, resume=ckpt)
+        run_serial(resumed, surrogate)
+        t_f, pe_f, ke_f = full.trajectory_energies()
+        t_r, pe_r, ke_r = resumed.trajectory_energies()
+        np.testing.assert_array_equal(t_f, t_r)
+        np.testing.assert_array_equal(pe_f, pe_r)
+        np.testing.assert_array_equal(ke_f, ke_r)
+        np.testing.assert_array_equal(full.coords, resumed.coords)
+        np.testing.assert_array_equal(full.velocities, resumed.velocities)
+
+    def test_parallel_resume_is_bitwise_exact(self, system, surrogate,
+                                              tmp_path):
+        full = _coordinator(system, nsteps=6)
+        run_parallel(full, surrogate, nworkers=2)
+        ck = tmp_path / "ck.npz"
+        part = _coordinator(system, nsteps=4, checkpoint_path=ck,
+                            checkpoint_every=2)
+        run_parallel(part, surrogate, nworkers=2)
+        ckpt = read_checkpoint(ck, mol=system.parent)
+        assert ckpt.step == 4
+        assert ckpt.driver is not None  # fault counters travel along
+        resumed = _coordinator(system, nsteps=6, resume=ckpt)
+        report = run_parallel(resumed, surrogate, nworkers=2)
+        assert report.clean
+        _, pe_f, ke_f = full.trajectory_energies()
+        _, pe_r, ke_r = resumed.trajectory_energies()
+        np.testing.assert_array_equal(pe_f, pe_r)
+        np.testing.assert_array_equal(ke_f, ke_r)
+
+    def test_resume_keeps_reference_monomer(self, system, surrogate,
+                                            tmp_path):
+        ck = tmp_path / "ck.npz"
+        part = _coordinator(system, nsteps=4, checkpoint_path=ck,
+                            checkpoint_every=4, reference=1)
+        run_serial(part, surrogate)
+        ckpt = read_checkpoint(ck)
+        resumed = _coordinator(system, nsteps=6, resume=ckpt)
+        assert resumed.reference == 1
+
+    def test_misaligned_checkpoint_rejected(self, system):
+        ckpt = Checkpoint(
+            step=3, time_fs=1.5,
+            coords=system.parent.coords.copy(),
+            velocities=np.zeros_like(system.parent.coords),
+            symbols=tuple(system.parent.symbols),
+        )
+        with pytest.raises(CheckpointError, match="replan_interval"):
+            _coordinator(system, nsteps=8, resume=ckpt)
+
+    def test_wrong_system_size_rejected(self, system):
+        ckpt = Checkpoint(
+            step=4, time_fs=2.0,
+            coords=np.zeros((3, 3)), velocities=np.zeros((3, 3)),
+            symbols=("O", "H", "H"),
+        )
+        with pytest.raises(CheckpointError, match="atoms"):
+            _coordinator(system, nsteps=8, resume=ckpt)
+
+
+class TestRunAimdResume:
+    def test_thermostat_rng_round_trips(self, surrogate, tmp_path):
+        """A Langevin (stochastic) run must resume bitwise: the RNG
+        stream continues exactly where the checkpoint cut it."""
+        mol = water_cluster(2, seed=5)
+        kw = dict(nsteps=10, dt_fs=0.5, seed=1)
+        ck = tmp_path / "ck.npz"
+        full = run_aimd(
+            mol, surrogate,
+            thermostat=LangevinThermostat(300.0, friction_per_fs=0.05,
+                                          seed=7),
+            **kw,
+        )
+        run_aimd(
+            mol, surrogate, nsteps=4, dt_fs=0.5, seed=1,
+            thermostat=LangevinThermostat(300.0, friction_per_fs=0.05,
+                                          seed=7),
+            checkpoint_path=ck, checkpoint_every=4,
+        )
+        ckpt = read_checkpoint(ck, mol=mol)
+        # a wrong-seed thermostat proves state comes from the checkpoint
+        resumed = run_aimd(
+            mol, surrogate,
+            thermostat=LangevinThermostat(300.0, friction_per_fs=0.05,
+                                          seed=999),
+            resume=ckpt, **kw,
+        )
+        assert len(resumed.times_fs) == len(full.times_fs)
+        np.testing.assert_array_equal(full.potential, resumed.potential)
+        np.testing.assert_array_equal(full.kinetic, resumed.kinetic)
+        np.testing.assert_array_equal(full.coords[-1], resumed.coords[-1])
+
+    def test_fragmented_resume_bitwise(self, surrogate, tmp_path):
+        mol = water_cluster(2, seed=5)
+        system = FragmentedSystem.by_components(mol)
+        kw = dict(
+            dt_fs=0.5, r_dimer_bohr=BIG, r_trimer_bohr=BIG / 2,
+            replan_interval=2, velocities=np.zeros_like(mol.coords),
+        )
+        full = run_aimd(system, surrogate, nsteps=8, **kw)
+        ck = tmp_path / "ck.npz"
+        run_aimd(system, surrogate, nsteps=4, checkpoint_path=ck,
+                 checkpoint_every=4, **kw)
+        resumed = run_aimd(system, surrogate, nsteps=8,
+                           resume=read_checkpoint(ck, mol=mol), **kw)
+        np.testing.assert_array_equal(full.potential, resumed.potential)
+        np.testing.assert_array_equal(full.coords[-1], resumed.coords[-1])
+
+    def test_frozen_plan_never_checkpoints(self, surrogate, tmp_path):
+        """replan_interval=0 freezes the step-0 plan, which a resume
+        cannot reconstruct — so no checkpoint may ever be written."""
+        system = FragmentedSystem.by_components(water_cluster(2, seed=5))
+        ck = tmp_path / "ck.npz"
+        run_aimd(system, surrogate, nsteps=4, dt_fs=0.5,
+                 r_dimer_bohr=BIG, r_trimer_bohr=BIG / 2,
+                 replan_interval=0, velocities=np.zeros((6, 3)),
+                 checkpoint_path=ck, checkpoint_every=2)
+        assert not ck.exists()
+
+
+_KILL_SCRIPT = """
+import os, signal, sys
+import numpy as np
+from repro.calculators import PairwisePotentialCalculator
+from repro.md import run_aimd
+from repro.systems import water_cluster
+
+class KillAfter:
+    def __init__(self, inner, ncalls):
+        self.inner, self.ncalls, self.calls = inner, ncalls, 0
+    def energy_gradient(self, mol):
+        self.calls += 1
+        if self.calls > self.ncalls:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self.inner.energy_gradient(mol)
+
+mol = water_cluster(2, seed=5)
+run_aimd(mol, KillAfter(PairwisePotentialCalculator(), 7),
+         nsteps=10, dt_fs=0.5, seed=1,
+         checkpoint_path=sys.argv[1], checkpoint_every=2)
+raise SystemExit("should have been killed")
+"""
+
+
+class TestSigkillResume:
+    def test_sigkill_mid_run_then_resume_matches_uninterrupted(
+        self, surrogate, tmp_path
+    ):
+        """The acceptance criterion: SIGKILL the process mid-trajectory,
+        resume from the latest checkpoint, and reproduce the
+        uninterrupted run bitwise."""
+        ck = tmp_path / "ck.npz"
+        env = dict(os.environ, PYTHONPATH=SRC)
+        proc = subprocess.run(
+            [sys.executable, "-c", _KILL_SCRIPT, str(ck)],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        assert ck.exists()
+
+        mol = water_cluster(2, seed=5)
+        ckpt = read_checkpoint(ck, mol=mol)
+        assert 0 < ckpt.step < 10  # died mid-run with state on disk
+        resumed = run_aimd(mol, surrogate, nsteps=10, dt_fs=0.5,
+                           resume=ckpt)
+        full = run_aimd(mol, surrogate, nsteps=10, dt_fs=0.5, seed=1)
+        np.testing.assert_array_equal(full.potential, resumed.potential)
+        np.testing.assert_array_equal(full.kinetic, resumed.kinetic)
+        np.testing.assert_array_equal(full.coords[-1], resumed.coords[-1])
+        np.testing.assert_array_equal(
+            full.velocities[-1], resumed.velocities[-1]
+        )
+
+
+class TestCliResume:
+    def test_cli_resume_reproduces_final_energy(self, tmp_path, capsys):
+        from repro.chem.xyz import save_xyz
+        from repro.cli import main
+
+        mol = water_cluster(3, seed=4)
+        xyz = tmp_path / "w3.xyz"
+        save_xyz(mol, xyz)
+        ck = tmp_path / "ck.npz"
+        common = ["aimd", str(xyz), "--surrogate", "--dt", "0.5",
+                  "--deterministic"]
+        assert main(common + ["--steps", "8"]) == 0
+        full_out = capsys.readouterr().out
+        assert main(common + ["--steps", "4", "--checkpoint", str(ck),
+                              "--checkpoint-every", "4"]) == 0
+        capsys.readouterr()
+        assert main(common + ["--steps", "8", "--resume", str(ck)]) == 0
+        resumed_out = capsys.readouterr().out
+        assert "resuming from" in resumed_out
+
+        def final_energy(text):
+            lines = [ln for ln in text.splitlines()
+                     if ln.startswith("final total energy:")]
+            assert lines, text
+            return lines[-1]
+
+        assert final_energy(full_out) == final_energy(resumed_out)
