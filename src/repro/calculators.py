@@ -18,6 +18,7 @@ fragmentation and MD layers consume. Three families are provided:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -40,11 +41,208 @@ class Calculator(Protocol):
         ...
 
 
-def _solve_scf(mol, basis, recover: bool, tracer=None, **kwargs):
-    """Bare `rhf` or the recovery cascade, per the calculator's setting."""
+@dataclass
+class _CacheEntry:
+    #: most-recent-last converged densities (up to the cache's history
+    #: depth); served as a Lagrange extrapolation to the next step
+    history: list[np.ndarray]
+    natoms: int
+    nbytes: int
+
+
+class GuessCache:
+    """Per-fragment converged-density store for cross-step SCF warm starts.
+
+    Between consecutive MD steps a fragment's geometry moves by a
+    fraction of a bohr, so its previous converged density is an
+    excellent initial guess — production AIMD codes (CP2K and the
+    MTS-AIMD literature) report 2-4x fewer SCF iterations from exactly
+    this reuse. Entries are keyed by the MBE fragment key (the tuple of
+    constituent monomer indices, carried on fragment molecules as
+    ``Molecule.frag_key``).
+
+    Each entry keeps the last ``history`` converged densities and
+    `get` serves their forward Lagrange extrapolation (``2 D1 - D0``
+    for two, ``3 D2 - 3 D1 + D0`` for three) — the density analogue of
+    the always-stable predictor in CP2K's ASPC scheme. Plain reuse of
+    the last density alone saves little here: its error against the new
+    geometry's solution lies along the *slowest-contracting* physical
+    response modes, so DIIS still needs to rebuild its subspace;
+    extrapolation cancels the leading order of that error.
+    ``history=1`` recovers plain last-density reuse. The SCF layer
+    re-purifies whatever guess it is handed (`repro.scf.rhf`), so the
+    non-idempotency of the extrapolated combination is harmless.
+
+    Safety properties:
+
+    * entries store the fragment's atom count and are dropped on
+      mismatch (`invalidate` is also called explicitly when a replan
+      changes a fragment), so a stale density is never offered to a
+      different fragment shape — and `repro.scf.rhf` re-validates the
+      array against the basis regardless;
+    * an LRU byte budget (``max_bytes``) bounds total storage, so
+      million-fragment plans cannot exhaust coordinator or worker
+      memory: least-recently-used densities are evicted first;
+    * ``enabled=False`` turns the cache into a pure statistics collector
+      (every lookup misses, nothing is stored) so cold and warm runs can
+      be instrumented identically;
+    * the cache is deliberately **not** checkpointed: a resumed
+      trajectory restarts from cold guesses, which only costs
+      iterations. Bitwise resume equivalence is guaranteed by the
+      coordinator's ``deterministic`` mode, which disables warm starts
+      entirely (see `repro.md.checkpoint`).
+    """
+
+    def __init__(self, max_bytes: int = 256 * 2**20,
+                 enabled: bool = True, history: int = 3) -> None:
+        if history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        self.max_bytes = int(max_bytes)
+        self.enabled = enabled
+        self.history = int(history)
+        self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        self._nbytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        #: SCF iterations spent on cache-hit (warm) and cache-miss
+        #: (cold) solves, for the 2-4x savings audit
+        self.iters_warm = 0
+        self.iters_cold = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Current total payload size of the stored densities."""
+        return self._nbytes
+
+    def get(self, key: tuple, natoms: int | None = None) -> np.ndarray | None:
+        """The extrapolated guess density for ``key``, or None (a miss).
+
+        With one stored density it is returned as-is; with more, the
+        forward Lagrange extrapolation of the history is returned.  A
+        ``natoms`` mismatch means the fragment no longer has the atom
+        set the density was converged for; the entry is invalidated and
+        the lookup misses.
+        """
+        entry = self._entries.get(key) if self.enabled else None
+        if entry is not None and natoms is not None \
+                and entry.natoms != natoms:
+            self.invalidate(key)
+            entry = None
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        h = entry.history
+        if len(h) == 1:
+            return h[-1]
+        if len(h) == 2:
+            return 2.0 * h[-1] - h[-2]
+        return 3.0 * h[-1] - 3.0 * h[-2] + h[-3]
+
+    def put(self, key: tuple, D: np.ndarray, natoms: int) -> None:
+        """Store a converged density (the caller must not mutate it).
+
+        Appends to the key's history (dropping beyond the history
+        depth); a ``natoms`` change discards the stale history first.
+        """
+        if not self.enabled:
+            return
+        entry = self._entries.pop(key, None)
+        if entry is not None and entry.natoms != int(natoms):
+            self._nbytes -= entry.nbytes
+            self.invalidations += 1
+            entry = None
+        if entry is None:
+            entry = _CacheEntry(history=[], natoms=int(natoms), nbytes=0)
+        else:
+            self._nbytes -= entry.nbytes
+        entry.history.append(D)
+        del entry.history[:-self.history]
+        entry.nbytes = sum(int(d.nbytes) for d in entry.history)
+        self._entries[key] = entry
+        self._nbytes += entry.nbytes
+        while self._nbytes > self.max_bytes and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            self._nbytes -= evicted.nbytes
+            self.evictions += 1
+
+    def invalidate(self, key: tuple) -> None:
+        """Drop one entry (no-op if absent)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._nbytes -= entry.nbytes
+            self.invalidations += 1
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+        self._nbytes = 0
+
+    def record(self, hit: bool, n_iter: int) -> None:
+        """Account one solve's iteration count against hit/miss."""
+        if hit:
+            self.iters_warm += int(n_iter)
+        else:
+            self.iters_cold += int(n_iter)
+
+    def stats(self) -> dict:
+        """Counters snapshot (hits/misses/iterations/evictions/bytes)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "iters_warm": self.iters_warm,
+            "iters_cold": self.iters_cold,
+            "entries": len(self._entries),
+            "nbytes": self._nbytes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"GuessCache(entries={len(self._entries)}, "
+            f"nbytes={self._nbytes}, hits={self.hits}, "
+            f"misses={self.misses}, enabled={self.enabled})"
+        )
+
+
+def _solve_scf(mol, basis, recover: bool, tracer=None, guess_cache=None,
+               **kwargs):
+    """Bare `rhf` or the recovery cascade, per the calculator's setting.
+
+    With a `GuessCache` and a molecule carrying a ``frag_key``, the
+    fragment's last converged density seeds the solve (``dm0``) and the
+    new converged density is stored back — including after a recovery
+    escalation, since any converged density is a valid future guess.
+    Emits an ``scf.warm_start`` tracer instant per cached solve with the
+    hit/miss outcome and the iteration count.
+    """
+    key = getattr(mol, "frag_key", None) if guess_cache is not None else None
+    hit = False
+    if key is not None:
+        dm0 = guess_cache.get(key, natoms=mol.natoms)
+        if dm0 is not None:
+            kwargs["dm0"] = dm0
+            hit = True
     if recover:
-        return rhf_with_recovery(mol, basis, tracer=tracer, **kwargs)
-    return rhf(mol, basis, **kwargs)
+        res = rhf_with_recovery(mol, basis, tracer=tracer, **kwargs)
+    else:
+        res = rhf(mol, basis, **kwargs)
+    if key is not None:
+        guess_cache.record(hit, res.niter)
+        guess_cache.put(key, res.D, natoms=mol.natoms)
+        if tracer:
+            tracer.instant(
+                "scf.warm_start", cat="scf", key=str(key), hit=hit,
+                n_iter=res.niter, warm_started=res.warm_started,
+            )
+    return res
 
 
 @dataclass
@@ -57,17 +255,26 @@ class RIMP2Calculator:
     energy/gradient passes a NaN/Inf sentinel; divergence surfaces as a
     typed `NumericalDivergenceError` the fault-tolerant drivers know how
     to retry or quarantine.
+
+    ``guess_cache`` (a `GuessCache`) enables cross-step SCF warm starts
+    for fragment molecules carrying a ``frag_key``; ``tracer`` threads a
+    `repro.trace.Tracer` into the SCF layer so ``scf.recover`` /
+    ``scf.recovered`` / ``scf.warm_start`` events are recorded instead
+    of silently lost during MD runs.
     """
 
     basis: str = "sto-3g"
     conv_energy: float = 1.0e-10
     max_iter: int = 150
     recover: bool = True
+    guess_cache: GuessCache | None = None
+    tracer: object = None
 
     def energy_gradient(self, mol: Molecule) -> tuple[float, np.ndarray]:
         """RI-HF + RI-MP2 total energy and analytic gradient."""
         res = _solve_scf(
-            mol, self.basis, self.recover, ri=True,
+            mol, self.basis, self.recover, tracer=self.tracer,
+            guess_cache=self.guess_cache, ri=True,
             conv_energy=self.conv_energy, max_iter=self.max_iter,
         )
         out = rimp2_gradient(res, return_intermediates=True)
@@ -80,7 +287,8 @@ class RIMP2Calculator:
 
     def energy(self, mol: Molecule) -> float:
         """Energy-only evaluation (skips the gradient machinery)."""
-        res = _solve_scf(mol, self.basis, self.recover, ri=True,
+        res = _solve_scf(mol, self.basis, self.recover, tracer=self.tracer,
+                         guess_cache=self.guess_cache, ri=True,
                          conv_energy=self.conv_energy, max_iter=self.max_iter)
         energy = res.energy + mp2_ri(res).e_corr
         ensure_finite(f"RI-MP2 on {mol.natoms}-atom fragment", energy=energy)
@@ -89,14 +297,21 @@ class RIMP2Calculator:
 
 @dataclass
 class RIHFCalculator:
-    """RI-HF only (no correlation) — used for RI-vs-non-RI timing studies."""
+    """RI-HF only (no correlation) — used for RI-vs-non-RI timing studies.
+
+    Supports the same ``guess_cache`` / ``tracer`` wiring as
+    `RIMP2Calculator`.
+    """
 
     basis: str = "sto-3g"
     recover: bool = True
+    guess_cache: GuessCache | None = None
+    tracer: object = None
 
     def energy_gradient(self, mol: Molecule) -> tuple[float, np.ndarray]:
         """RI-HF energy and analytic gradient."""
-        res = _solve_scf(mol, self.basis, self.recover, ri=True)
+        res = _solve_scf(mol, self.basis, self.recover, tracer=self.tracer,
+                         guess_cache=self.guess_cache, ri=True)
         grad = rhf_gradient_ri(res)
         ensure_finite(
             f"RI-HF on {mol.natoms}-atom fragment",
@@ -111,10 +326,13 @@ class ConventionalHFCalculator:
 
     basis: str = "sto-3g"
     recover: bool = True
+    guess_cache: GuessCache | None = None
+    tracer: object = None
 
     def energy_gradient(self, mol: Molecule) -> tuple[float, np.ndarray]:
         """Conventional four-center HF energy and gradient."""
-        res = _solve_scf(mol, self.basis, self.recover, ri=False)
+        res = _solve_scf(mol, self.basis, self.recover, tracer=self.tracer,
+                         guess_cache=self.guess_cache, ri=False)
         grad = rhf_gradient_conventional(res)
         ensure_finite(
             f"HF on {mol.natoms}-atom fragment",

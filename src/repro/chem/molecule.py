@@ -26,9 +26,13 @@ class Molecule:
         charge: total molecular charge (integer).
         multiplicity: spin multiplicity 2S+1 (the engine is restricted
             closed-shell, so only 1 is accepted by the solvers).
+        frag_key: optional MBE fragment identity (tuple of monomer
+            indices), set by `FragmentedSystem.fragment_molecule` so
+            calculators can key per-fragment caches (SCF warm starts)
+            off the molecule they receive. None for whole molecules.
     """
 
-    __slots__ = ("symbols", "coords", "charge", "multiplicity")
+    __slots__ = ("symbols", "coords", "charge", "multiplicity", "frag_key")
 
     def __init__(
         self,
@@ -44,6 +48,7 @@ class Molecule:
         self.coords: np.ndarray = coords.copy()
         self.charge = int(charge)
         self.multiplicity = int(multiplicity)
+        self.frag_key: tuple[int, ...] | None = None
 
     # --- constructors -----------------------------------------------------
     @classmethod

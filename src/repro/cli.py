@@ -139,6 +139,9 @@ def cmd_aimd(args) -> int:
         resume = read_checkpoint(args.resume, mol=mol)
         print(f"resuming from {args.resume}: step {resume.step} "
               f"(t = {resume.time_fs:g} fs)")
+    if args.deterministic and not args.no_warm_start and not args.surrogate:
+        print("deterministic mode: SCF warm starts disabled "
+              "(bitwise-reproducible resumes require cold guesses)")
     coordinator = AsyncCoordinator(
         system,
         nsteps=args.steps,
@@ -153,6 +156,7 @@ def cmd_aimd(args) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume=resume,
+        warm_start=not args.no_warm_start,
     )
     print(f"{system.nmonomers} monomers, reference fragment "
           f"{coordinator.reference}, "
@@ -196,6 +200,18 @@ def cmd_aimd(args) -> int:
           f"{args.steps} steps")
     print(f"total energy drift: {rep.drift_hartree_per_fs:.2e} Ha/fs, "
           f"RMS fluctuation: {rep.rms_fluctuation_kjmol:.4f} kJ/mol")
+    if coordinator.replans_incremental:
+        print(f"incremental replans: {coordinator.replans_incremental} "
+              f"({coordinator.replan_reused} polymers reused, "
+              f"{coordinator.replan_added} added, "
+              f"{coordinator.replan_removed} removed)")
+    cache = coordinator.guess_cache
+    if cache is not None and (cache.hits or cache.misses):
+        total = cache.iters_warm + cache.iters_cold
+        print(f"warm-start: {cache.hits} hits / {cache.misses} misses, "
+              f"{total} SCF iterations "
+              f"({cache.iters_warm} warm / {cache.iters_cold} cold), "
+              f"{len(cache)} cached densities ({cache.nbytes} bytes)")
     if tracer is not None:
         GLOBAL_TUNER.tracer = None
         tracer.write_chrome(args.trace)
@@ -291,7 +307,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "and print a span/counter summary")
     p.add_argument("--deterministic", action="store_true",
                    help="deterministic energy reductions (bitwise "
-                        "reproducible trajectories and resumes)")
+                        "reproducible trajectories and resumes); also "
+                        "disables SCF warm starts")
+    p.add_argument("--no-warm-start", action="store_true",
+                   help="disable cross-step SCF warm starts (cold "
+                        "gwh guess for every fragment solve)")
     p.add_argument("--checkpoint", metavar="PATH", default=None,
                    help="write crash-safe checkpoints to PATH during the run")
     p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",

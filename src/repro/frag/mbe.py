@@ -46,6 +46,28 @@ def enumerate_dimers(
     return _centroid_pairs(cents, r_cut_bohr)
 
 
+def _trimers_from_pairs(
+    cents: np.ndarray, pairs: list[tuple[int, int]], r_cut: float
+) -> list[FragKey]:
+    """Trimers whose three edges are all within ``r_cut``, given the
+    pair list already restricted to that cutoff."""
+    n = cents.shape[0]
+    neigh: list[list[int]] = [[] for _ in range(n)]
+    for i, j in pairs:
+        neigh[i].append(j)  # j > i by construction
+    out = []
+    r2 = r_cut * r_cut
+    for i in range(n):
+        cand = neigh[i]
+        for ji, j in enumerate(cand):
+            cj = cents[j]
+            for k in cand[ji + 1 :]:
+                dv = cj - cents[k]
+                if float(dv @ dv) <= r2:
+                    out.append((i, j, k))
+    return out
+
+
 def enumerate_trimers(
     system: FragmentedSystem,
     r_cut_bohr: float,
@@ -56,21 +78,50 @@ def enumerate_trimers(
         return []
     cents = system.centroids(coords)
     pairs = _centroid_pairs(cents, r_cut_bohr)
-    n = system.nmonomers
-    neigh: list[list[int]] = [[] for _ in range(n)]
-    for i, j in pairs:
-        neigh[i].append(j)  # j > i by construction
-    out = []
-    r2 = r_cut_bohr * r_cut_bohr
-    for i in range(n):
-        cand = neigh[i]
-        for ji, j in enumerate(cand):
-            cj = cents[j]
-            for k in cand[ji + 1 :]:
-                dv = cj - cents[k]
-                if float(dv @ dv) <= r2:
-                    out.append((i, j, k))
-    return out
+    return _trimers_from_pairs(cents, pairs, r_cut_bohr)
+
+
+def _polymer_lists(
+    system: FragmentedSystem,
+    r_dimer_bohr: float,
+    r_trimer_bohr: float | None,
+    order: int,
+    coords: np.ndarray | None,
+) -> tuple[list[FragKey], list[FragKey]]:
+    """Dimer and trimer key lists from a *single* KD-tree pass.
+
+    One tree query at the larger cutoff serves both enumerations: the
+    dimer list is the pairs within ``r_dimer_bohr`` and the trimer
+    neighbor graph is the pairs within ``r_trimer_bohr`` — instead of
+    building (and querying) two KD-trees per replan.
+    """
+    r_d = r_dimer_bohr if order >= 2 else 0.0
+    r_t = (r_trimer_bohr or 0.0) if order >= 3 else 0.0
+    r_max = max(r_d, r_t)
+    if r_max <= 0:
+        return [], []
+    cents = system.centroids(coords)
+    pairs = _centroid_pairs(cents, r_max)
+    if r_d == r_max:
+        dimers = pairs
+    else:
+        d2 = r_d * r_d
+        dimers = [
+            (i, j) for i, j in pairs
+            if float((cents[i] - cents[j]) @ (cents[i] - cents[j])) <= d2
+        ] if r_d > 0 else []
+    trimers: list[FragKey] = []
+    if r_t > 0:
+        if r_t == r_max:
+            t_pairs = pairs
+        else:
+            t2 = r_t * r_t
+            t_pairs = [
+                (i, j) for i, j in pairs
+                if float((cents[i] - cents[j]) @ (cents[i] - cents[j])) <= t2
+            ]
+        trimers = _trimers_from_pairs(cents, t_pairs, r_t)
+    return dimers, trimers
 
 
 @dataclass
@@ -114,6 +165,8 @@ def build_plan(
     """
     if order not in (1, 2, 3):
         raise ValueError("MBE order must be 1, 2 or 3")
+    if order >= 3 and r_trimer_bohr is None:
+        raise ValueError("MBE3 requires a trimer cutoff")
     plan = MBEPlan()
     coef = plan.coefficients
 
@@ -122,23 +175,122 @@ def build_plan(
 
     for m in range(system.nmonomers):
         add((m,), 1.0)
-    if order >= 2:
-        plan.dimers = enumerate_dimers(system, r_dimer_bohr, coords)
-        for i, j in plan.dimers:
+    plan.dimers, plan.trimers = _polymer_lists(
+        system, r_dimer_bohr, r_trimer_bohr, order, coords
+    )
+    for i, j in plan.dimers:
+        add((i, j), 1.0)
+        add((i,), -1.0)
+        add((j,), -1.0)
+    for i, j, k in plan.trimers:
+        add((i, j, k), 1.0)
+        for pair in combinations((i, j, k), 2):
+            add(pair, -1.0)
+        for mono in (i, j, k):
+            add((mono,), 1.0)
+    return plan
+
+
+@dataclass
+class ReplanDiff:
+    """What changed between two consecutive plans of the same system."""
+
+    #: fragment calculations present in the new plan but not the old
+    added: list[FragKey] = field(default_factory=list)
+    #: fragment calculations dropped from the plan (their cached state —
+    #: e.g. warm-start densities — should be invalidated)
+    removed: list[FragKey] = field(default_factory=list)
+    #: fragment calculations common to both plans
+    reused: int = 0
+
+    @property
+    def nchanged(self) -> int:
+        """Total number of added plus removed fragment calculations."""
+        return len(self.added) + len(self.removed)
+
+
+def update_plan(
+    system: FragmentedSystem,
+    prev: MBEPlan,
+    r_dimer_bohr: float,
+    r_trimer_bohr: float | None = None,
+    order: int = 3,
+    coords: np.ndarray | None = None,
+) -> tuple[MBEPlan, ReplanDiff]:
+    """Incrementally re-plan for new coordinates, diffing against ``prev``.
+
+    Between consecutive replan windows of an MD run the monomers move by
+    fractions of a bohr, so almost every polymer survives the cutoff
+    test. This routine enumerates the new dimer/trimer lists in a single
+    KD-tree pass and then *edits* the previous coefficient map — undoing
+    the inclusion-exclusion contributions of removed polymers and adding
+    those of new ones — instead of rebuilding it from zero. The result
+    is exactly equal to ``build_plan`` at the same coordinates (the
+    coefficients are integer-valued, so the edits are exact), while the
+    returned `ReplanDiff` tells callers which fragment calculations
+    appeared or vanished (e.g. for warm-start cache invalidation).
+
+    ``prev`` must come from the same system, order, and cutoffs;
+    otherwise the edited coefficients will not match a fresh build.
+    """
+    if order not in (1, 2, 3):
+        raise ValueError("MBE order must be 1, 2 or 3")
+    if order >= 3 and r_trimer_bohr is None:
+        raise ValueError("MBE3 requires a trimer cutoff")
+    dimers, trimers = _polymer_lists(
+        system, r_dimer_bohr, r_trimer_bohr, order, coords
+    )
+    plan = MBEPlan(
+        coefficients=dict(prev.coefficients), dimers=dimers, trimers=trimers
+    )
+    coef = plan.coefficients
+
+    def add(key: FragKey, c: float) -> None:
+        coef[key] = coef.get(key, 0.0) + c
+
+    old_fragments = set(prev.fragments)
+    old_dimers = set(prev.dimers)
+    new_dimers = set(dimers)
+    for i, j in prev.dimers:
+        if (i, j) not in new_dimers:
+            add((i, j), -1.0)
+            add((i,), 1.0)
+            add((j,), 1.0)
+    for i, j in dimers:
+        if (i, j) not in old_dimers:
             add((i, j), 1.0)
             add((i,), -1.0)
             add((j,), -1.0)
-    if order >= 3:
-        if r_trimer_bohr is None:
-            raise ValueError("MBE3 requires a trimer cutoff")
-        plan.trimers = enumerate_trimers(system, r_trimer_bohr, coords)
-        for i, j, k in plan.trimers:
-            add((i, j, k), 1.0)
-            for pair in combinations((i, j, k), 2):
+    old_trimers = set(prev.trimers)
+    new_trimers = set(trimers)
+    for tri in prev.trimers:
+        if tri not in new_trimers:
+            add(tri, -1.0)
+            for pair in combinations(tri, 2):
+                add(pair, 1.0)
+            for mono in tri:
+                add((mono,), -1.0)
+    for tri in trimers:
+        if tri not in old_trimers:
+            add(tri, 1.0)
+            for pair in combinations(tri, 2):
                 add(pair, -1.0)
-            for mono in (i, j, k):
+            for mono in tri:
                 add((mono,), 1.0)
-    return plan
+    # prune keys whose coefficient cancelled exactly (monomers stay:
+    # build_plan always seeds them, even at coefficient zero)
+    for key in [k for k, c in coef.items() if len(k) > 1 and c == 0.0]:
+        del coef[key]
+
+    new_fragments = set(plan.fragments)
+    diff = ReplanDiff(
+        added=sorted(new_fragments - old_fragments, key=lambda k: (len(k), k)),
+        removed=sorted(
+            old_fragments - new_fragments, key=lambda k: (len(k), k)
+        ),
+        reused=len(old_fragments & new_fragments),
+    )
+    return plan, diff
 
 
 def mbe_energy_gradient(

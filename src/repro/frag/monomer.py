@@ -209,6 +209,9 @@ class FragmentedSystem:
             pos = c[cap.inner] + cap.ratio * (c[cap.outer] - c[cap.inner])
             coords_frag.append(pos)
         mol = Molecule(symbols, np.array(coords_frag), charge=charge)
+        # tag the fragment identity so calculators can key per-fragment
+        # caches (SCF warm starts) off the molecule alone
+        mol.frag_key = tuple(monomer_ids)
         return mol, atoms, caps
 
     def map_gradient(

@@ -95,7 +95,11 @@ class GemmAutoTuner:
         t0 = time.perf_counter()
         out = _gemm_variant(A, B, variant)
         done.append((variant, time.perf_counter() - t0))
-        if len(done) == len(VARIANTS) * max(1, self.trials_per_variant):
+        # >= rather than ==: the trial target can move below len(done)
+        # mid-run (trials_per_variant lowered, or a restored trials list
+        # already past it), and an equality check would then never fire
+        # and pin the shape in trial mode forever
+        if len(done) >= len(VARIANTS) * max(1, self.trials_per_variant):
             times = self._min_times(done)
             self.best[key] = min(times, key=times.get)
             if self.tracer:

@@ -21,6 +21,7 @@ from .basis.data import element_shells
 from .basis.shell import Shell
 from .chem.molecule import Molecule
 from .mp2.mp2 import mp2_ri
+from .scf.recovery import rhf_with_recovery
 from .scf.rhf import rhf
 
 
@@ -77,8 +78,20 @@ def _aux_with_ghosts(
     return BasisSet(shells)
 
 
-def _energy_in_basis(mol: Molecule, bs: BasisSet, aux: BasisSet) -> float:
-    res = rhf(mol, bs, ri=True, aux=aux)
+def _energy_in_basis(
+    mol: Molecule, bs: BasisSet, aux: BasisSet, recover: bool = True
+) -> float:
+    """RI-MP2 total energy in an explicit (possibly ghost-augmented) basis.
+
+    ``recover=True`` routes the SCF through the escalation ladder of
+    `repro.scf.recovery` — ghost-augmented monomer bases are exactly the
+    near-linearly-dependent systems where a bare solve occasionally
+    stalls, and every other ab-initio path already gets the cascade.
+    """
+    if recover:
+        res = rhf_with_recovery(mol, bs, ri=True, aux=aux)
+    else:
+        res = rhf(mol, bs, ri=True, aux=aux)
     return res.energy + mp2_ri(res).e_corr
 
 
@@ -110,22 +123,30 @@ class InteractionResult:
 
 
 def counterpoise_interaction(
-    mol_a: Molecule, mol_b: Molecule, basis: str = "sto-3g"
+    mol_a: Molecule, mol_b: Molecule, basis: str = "sto-3g",
+    recover: bool = True,
 ) -> InteractionResult:
     """Boys-Bernardi counterpoise analysis of an A...B dimer at the
-    RI-MP2 level."""
+    RI-MP2 level.
+
+    Every SCF runs through the recovery cascade by default
+    (``recover=True``) so one hard monomer-in-ghost-basis solve degrades
+    to extra iterations instead of aborting the whole analysis.
+    """
     dimer = Molecule.concatenate([mol_a, mol_b])
     bs_ab = BasisSet.build(dimer, basis)
     from .basis.auxiliary import auto_auxiliary
 
     aux_ab = auto_auxiliary(dimer, basis)
-    e_ab = _energy_in_basis(dimer, bs_ab, aux_ab)
+    e_ab = _energy_in_basis(dimer, bs_ab, aux_ab, recover=recover)
 
     e_a = _energy_in_basis(
-        mol_a, BasisSet.build(mol_a, basis), auto_auxiliary(mol_a, basis)
+        mol_a, BasisSet.build(mol_a, basis), auto_auxiliary(mol_a, basis),
+        recover=recover,
     )
     e_b = _energy_in_basis(
-        mol_b, BasisSet.build(mol_b, basis), auto_auxiliary(mol_b, basis)
+        mol_b, BasisSet.build(mol_b, basis), auto_auxiliary(mol_b, basis),
+        recover=recover,
     )
 
     ghosts_b = (list(mol_b.symbols), mol_b.coords)
@@ -134,11 +155,13 @@ def counterpoise_interaction(
         mol_a,
         basis_with_ghosts(mol_a, *ghosts_b, basis),
         _aux_with_ghosts(mol_a, *ghosts_b, basis),
+        recover=recover,
     )
     e_b_ga = _energy_in_basis(
         mol_b,
         basis_with_ghosts(mol_b, *ghosts_a, basis),
         _aux_with_ghosts(mol_b, *ghosts_a, basis),
+        recover=recover,
     )
     return InteractionResult(
         e_ab=e_ab, e_a_own=e_a, e_b_own=e_b,

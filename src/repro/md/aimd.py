@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..chem.molecule import Molecule
-from ..frag.mbe import build_plan, mbe_energy_gradient
+from ..frag.mbe import build_plan, mbe_energy_gradient, update_plan
 from ..frag.monomer import FragmentedSystem
 from ..numerics import ensure_finite
 from .checkpoint import Checkpoint, CheckpointError, write_checkpoint
@@ -75,6 +75,7 @@ def run_aimd(
     checkpoint_path=None,
     checkpoint_every: int = 0,
     resume: Checkpoint | None = None,
+    warm_start: bool = True,
 ) -> Trajectory:
     """Synchronous NVE velocity-Verlet dynamics.
 
@@ -101,8 +102,23 @@ def run_aimd(
     continues bitwise-exactly.  Pass a loaded `Checkpoint` as ``resume``
     to continue an interrupted trajectory; the returned `Trajectory`
     then contains the full history (checkpointed frames + new frames).
+
+    ``warm_start=True`` (the default) attaches a `GuessCache` to
+    calculators that support one (``calculator.guess_cache`` is left
+    untouched if the caller already set it), so every fragment's SCF is
+    seeded with its previous converged density; replans are then applied
+    incrementally (`update_plan`) and invalidate the cached densities of
+    fragments that left the plan. The cache is never checkpointed: a
+    resumed run re-converges from cold guesses, which costs iterations
+    but reproduces energies to SCF convergence tolerance.
     """
     fragmented = isinstance(mol_or_system, FragmentedSystem)
+    if warm_start and getattr(calculator, "guess_cache", "no") is None:
+        from ..calculators import GuessCache
+
+        calculator.guess_cache = GuessCache()
+    if tracer is not None and getattr(calculator, "tracer", "no") is None:
+        calculator.tracer = tracer
     parent = mol_or_system.parent if fragmented else mol_or_system
     masses = parent.masses_au
     dt = fs_to_au(dt_fs)
@@ -137,6 +153,35 @@ def run_aimd(
 
     plan = None
 
+    def replan(c: np.ndarray, step: int) -> None:
+        """(Re)build the fragment plan — incrementally after the first.
+
+        `update_plan` edits the previous coefficient map instead of
+        rebuilding it, and its diff drives warm-start cache invalidation
+        for fragments that left the plan.
+        """
+        nonlocal plan
+        if plan is None:
+            plan = build_plan(
+                mol_or_system, r_dimer_bohr, r_trimer_bohr,
+                order=mbe_order, coords=c,
+            )
+            return
+        plan, diff = update_plan(
+            mol_or_system, plan, r_dimer_bohr, r_trimer_bohr,
+            order=mbe_order, coords=c,
+        )
+        cache = getattr(calculator, "guess_cache", None)
+        if cache is not None:
+            for key in diff.removed:
+                cache.invalidate(key)
+        if tracer:
+            tracer.instant(
+                "replan.incremental", cat="scheduler", step=step,
+                added=len(diff.added), removed=len(diff.removed),
+                reused=diff.reused,
+            )
+
     def raw_force_fn(c: np.ndarray) -> tuple[float, np.ndarray]:
         nonlocal plan
         if not fragmented:
@@ -159,9 +204,7 @@ def run_aimd(
             )
             return e, -g
         if plan is None:
-            plan = build_plan(
-                mol_or_system, r_dimer_bohr, r_trimer_bohr, order=mbe_order, coords=c
-            )
+            replan(c, 0)
         e, g = mbe_energy_gradient(mol_or_system, plan, calculator, coords=c)
         return e, -g
 
@@ -221,10 +264,7 @@ def run_aimd(
         if step == nsteps:
             break
         if fragmented and replan_interval and step % replan_interval == 0:
-            plan = build_plan(
-                mol_or_system, r_dimer_bohr, r_trimer_bohr,
-                order=mbe_order, coords=coords,
-            )
+            replan(coords, step)
         t0 = time.perf_counter()
         coords, velocities, forces, e_pot = verlet_step(
             coords, velocities, forces, masses, dt, force_fn

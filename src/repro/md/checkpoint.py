@@ -22,6 +22,15 @@ driver, full frame history), thermostat state including its RNG stream,
 and the fault-tolerance `DriverReport` counters accumulated so far.
 With the coordinator's deterministic-reduction mode the resumed
 trajectory is bitwise identical to an uninterrupted one.
+
+The SCF warm-start `GuessCache` (`repro.calculators`) is deliberately
+**not** part of a checkpoint: cached densities are pure accelerators, so
+a resumed run restarts from cold guesses and only pays extra SCF
+iterations. This is also what keeps ``--deterministic`` resumes bitwise
+exact — deterministic mode disables warm starts entirely (a warm-started
+density differs from a cold-started one at the convergence threshold,
+and a resume necessarily loses the cache), so an uninterrupted and a
+resumed deterministic run perform identical arithmetic.
 """
 
 from __future__ import annotations

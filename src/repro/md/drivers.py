@@ -162,14 +162,34 @@ class FaultInjectingCalculator:
         return self.inner.energy_gradient(mol)
 
 
-def _evaluate(calculator, molecule, attempt: int):
+#: Worker-process-local warm-start cache. Calculators arrive freshly
+#: unpickled with every task, so per-fragment densities must live in the
+#: worker's module state to survive from one task to the next. Each
+#: worker process keeps its own cache; a rebuilt pool simply starts cold
+#: and repopulates — losing iterations, never correctness.
+_WORKER_GUESS_CACHE = None
+
+
+def _evaluate(calculator, molecule, attempt: int, warm_start: bool = False):
     """Worker-side entry point; forwards the attempt number if supported.
+
+    With ``warm_start``, the process-local `GuessCache` is attached to
+    the (worker's copy of the) calculator before evaluation, so
+    resubmissions, retries, and pool rebuilds repopulate the cache
+    rather than crash or leak state across tasks.
 
     Results pass a NaN/Inf sentinel before leaving the worker: silent
     divergence becomes a typed `NumericalDivergenceError` that travels
     back through the future and is retried/quarantined like any other
     worker failure.
     """
+    global _WORKER_GUESS_CACHE
+    if warm_start and getattr(calculator, "guess_cache", "no") is None:
+        if _WORKER_GUESS_CACHE is None:
+            from ..calculators import GuessCache
+
+            _WORKER_GUESS_CACHE = GuessCache()
+        calculator.guess_cache = _WORKER_GUESS_CACHE
     if getattr(calculator, "accepts_attempt", False):
         e, g = calculator.energy_gradient(molecule, attempt=attempt)
     else:
@@ -251,14 +271,20 @@ def run_parallel(
         kill_pool()
         pool = ProcessPoolExecutor(max_workers=nworkers, mp_context=ctx)
 
+    warm_start = getattr(coordinator, "guess_cache", None) is not None
+
     def submit(task, attempt: int) -> None:
         now = time.monotonic()
         try:
-            fut = pool.submit(_evaluate, calculator, task.molecule, attempt)
+            fut = pool.submit(
+                _evaluate, calculator, task.molecule, attempt, warm_start
+            )
         except (BrokenProcessPool, RuntimeError):
             # the pool died between completions; rebuild and resubmit
             restart_pool()
-            fut = pool.submit(_evaluate, calculator, task.molecule, attempt)
+            fut = pool.submit(
+                _evaluate, calculator, task.molecule, attempt, warm_start
+            )
         deadline = (
             now + policy.task_timeout_s if policy.task_timeout_s else None
         )

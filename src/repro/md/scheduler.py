@@ -37,8 +37,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..calculators import GuessCache
 from ..chem.molecule import Molecule
-from ..frag.mbe import MBEPlan, build_plan
+from ..frag.mbe import MBEPlan, build_plan, update_plan
 from ..frag.monomer import FragmentedSystem
 from ..numerics import ensure_finite
 from .checkpoint import Checkpoint, CheckpointError, write_checkpoint
@@ -100,6 +101,7 @@ class AsyncCoordinator:
         checkpoint_path=None,
         checkpoint_every: int = 0,
         resume: Checkpoint | None = None,
+        warm_start: bool = True,
     ) -> None:
         self.system = system
         self.nsteps = nsteps
@@ -130,6 +132,23 @@ class AsyncCoordinator:
         #: accumulation avoids — so it is opt-in (testing, debugging,
         #: reproducibility audits).
         self.deterministic = deterministic
+        #: cross-step SCF warm-start cache (`repro.calculators.GuessCache`),
+        #: shared with the calculator by `run_serial` (worker-side caches
+        #: are used by `run_parallel` instead, since densities cannot
+        #: cheaply cross process boundaries). Deterministic mode forces
+        #: it off: warm starts change the converged densities at the
+        #: 1e-10 level, and a resumed run — which restarts from a cold
+        #: cache by design — could then never be bitwise-identical to an
+        #: uninterrupted one.
+        self.guess_cache = (
+            GuessCache() if warm_start and not deterministic else None
+        )
+        #: incremental-replan statistics (windows diffed vs rebuilt)
+        self.replans_incremental = 0
+        self.replan_added = 0
+        self.replan_removed = 0
+        self.replan_reused = 0
+        self._latest_plan: MBEPlan | None = None
 
         parent = system.parent
         self.masses = parent.masses_au
@@ -270,9 +289,33 @@ class AsyncCoordinator:
 
     def _build_plan_window(self, w0: int) -> None:
         coords = self.coords_at.get(w0, self.coords)
-        plan = build_plan(
-            self.system, self.r_dimer, self.r_trimer, order=self.order, coords=coords
-        )
+        if self._latest_plan is None:
+            plan = build_plan(
+                self.system, self.r_dimer, self.r_trimer,
+                order=self.order, coords=coords,
+            )
+        else:
+            # incremental replan: edit the previous window's coefficient
+            # map instead of rebuilding it (exact — see `update_plan`),
+            # and retire warm-start densities of dropped fragments
+            plan, diff = update_plan(
+                self.system, self._latest_plan, self.r_dimer, self.r_trimer,
+                order=self.order, coords=coords,
+            )
+            self.replans_incremental += 1
+            self.replan_added += len(diff.added)
+            self.replan_removed += len(diff.removed)
+            self.replan_reused += diff.reused
+            if self.guess_cache is not None:
+                for key in diff.removed:
+                    self.guess_cache.invalidate(key)
+            if self.tracer:
+                self.tracer.instant(
+                    "replan.incremental", cat="scheduler", step=w0,
+                    added=len(diff.added), removed=len(diff.removed),
+                    reused=diff.reused,
+                )
+        self._latest_plan = plan
         self.plans[w0] = plan
         # touch set: constituents plus owners of outward cap atoms —
         # computable from topology alone (no geometry needed)
@@ -665,9 +708,19 @@ def run_serial(coordinator: AsyncCoordinator, calculator, tracer=None) -> None:
     scheduler bug — there is no in-flight work that could unlock more
     tasks, and the old ``in_flight > 0`` guard merely turned the bug
     into a silent busy-spin. The check is therefore unconditional.
+
+    The coordinator's warm-start `GuessCache` and tracer are attached to
+    the calculator (when it supports them and has none of its own), so
+    per-fragment densities persist across steps and SCF recovery /
+    warm-start events reach the trace.
     """
     if tracer is None:
         tracer = coordinator.tracer
+    cache = getattr(coordinator, "guess_cache", None)
+    if cache is not None and getattr(calculator, "guess_cache", "no") is None:
+        calculator.guess_cache = cache
+    if tracer is not None and getattr(calculator, "tracer", "no") is None:
+        calculator.tracer = tracer
     while not coordinator.done():
         task = coordinator.next_task()
         if task is None:

@@ -19,6 +19,12 @@ the default ladder escalates
 
 and the returned `SCFResult.recovery` records the path taken so callers
 (and tracer events) can audit exactly how hard each fragment fought.
+
+Warm starts (a cached ``dm0`` density from a previous MD step) get one
+extra rung: when the bare warm-started solve fails, the first escalation
+is simply to *discard the cached density* and re-solve from the cold
+GWH guess — and every later rung also runs cold — so a poisoned cache
+entry can cost at most one wasted solve, never wedge a trajectory.
 """
 
 from __future__ import annotations
@@ -98,6 +104,11 @@ def rhf_with_recovery(
     (ending with the one that succeeded).  A clean first solve returns
     with ``recovery == ()``.
 
+    A warm start (``dm0`` in ``kwargs``) prepends a ``cold-start`` rung
+    that drops the cached density and re-solves from the cold guess;
+    every subsequent rung also runs without ``dm0``, so escalation never
+    re-ingests a density that has already failed once.
+
     Tracer events: an ``scf.recover`` instant per escalation (carrying
     the stage name and the triggering error) and an ``scf.recovered``
     instant when a fallback stage finally converges.
@@ -106,6 +117,11 @@ def rhf_with_recovery(
         SCFConvergenceError: when the whole ladder is exhausted; the
             final error chains from the last stage's failure.
     """
+    if kwargs.get("dm0") is not None:
+        ladder = (RecoveryStage("cold-start", {"dm0": None}),) + tuple(
+            RecoveryStage(s.name, {**dict(s.overrides), "dm0": None})
+            for s in ladder
+        )
     try:
         return rhf(mol, basis, **kwargs)
     except (SCFConvergenceError, NumericalDivergenceError) as err:

@@ -52,6 +52,9 @@ class SCFResult:
     converged: bool
     niter: int
     method: str
+    #: True when the solve started from a caller-supplied density
+    #: (``dm0``) that passed validation, False for a cold guess
+    warm_started: bool = False
     aux: BasisSet | None = None
     B: np.ndarray | None = None  # (nbf, nbf, naux), J^{-1/2} folded
     J2c: np.ndarray | None = None
@@ -60,6 +63,12 @@ class SCFResult:
     #: recovery-cascade stages attempted before this solve succeeded
     #: (empty when the bare loop converged on the first try)
     recovery: tuple[str, ...] = ()
+
+    @property
+    def n_iter(self) -> int:
+        """SCF iterations taken (alias of ``niter`` for external callers
+        auditing warm-start savings)."""
+        return self.niter
 
     @property
     def C_occ(self) -> np.ndarray:
@@ -131,6 +140,7 @@ def rhf(
     guess: str = "gwh",
     damping: float = 0.0,
     diis_restart: int = 0,
+    dm0: np.ndarray | None = None,
 ) -> SCFResult:
     """Solve restricted closed-shell Hartree-Fock.
 
@@ -155,6 +165,21 @@ def rhf(
         diis_restart: if > 0, discard the accumulated DIIS subspace
             every ``diis_restart`` iterations — a stale, ill-conditioned
             subspace is a classic source of SCF limit cycles.
+        dm0: optional initial AO density (occupation-2 convention, shape
+            ``(nbf, nbf)``) — typically the converged density of the
+            same fragment at the previous MD step (warm start). The
+            array is validated against the basis size, finiteness, and
+            its electron count ``tr(D S)``; anything incompatible is
+            silently discarded and the cold ``guess`` is used instead,
+            so a stale cache can never abort a solve. An accepted
+            density gets one McWeeny purification step
+            ``D' = 3/2 D S D - 1/2 D S D S D`` before use — the
+            geometry (and hence S) has moved since the density was
+            converged, and extrapolated guesses are not idempotent at
+            all; purification projects the guess back toward a proper
+            one-particle density at the cost of three GEMMs. Whether
+            the warm density was actually used is reported as
+            ``SCFResult.warm_started``.
 
     Returns:
         `SCFResult` with the converged state and reusable RI tensors.
@@ -210,17 +235,36 @@ def rhf(
         ERI = eri4c(bs)
 
     X = sym_inv_sqrt(S)
-    if guess == "gwh":
-        # Generalized Wolfsberg-Helmholz: F_ij = K/2 (h_ii + h_jj) S_ij
-        hd = np.diag(h)
-        F0 = 0.875 * (hd[:, None] + hd[None, :]) * S
-        np.fill_diagonal(F0, hd)
-        eps, C = eigh_gen(F0, S)
-    elif guess == "core":
-        eps, C = eigh_gen(h, S)
-    else:
-        raise ValueError(f"unknown SCF guess {guess!r}")
-    D = 2.0 * gemm(C[:, :nocc], C[:, :nocc].T)
+    D = None
+    warm_started = False
+    if dm0 is not None:
+        # Warm start: validate rather than trust. The density must match
+        # this basis, be finite, and carry roughly the right number of
+        # electrons in the *current* overlap metric (the geometry has
+        # moved since it converged, so tr(D S) drifts slightly; a wrong
+        # fragment's density at the same nbf usually fails this check).
+        cand = np.asarray(dm0, dtype=float)
+        if cand.shape == (bs.nbf, bs.nbf) and np.all(np.isfinite(cand)):
+            ne = float(np.sum(cand * S))
+            if abs(ne - nelec) <= 0.05 * nelec:
+                # one McWeeny step restores near-idempotency in the
+                # *current* overlap metric (D S D = 2 D at convergence)
+                DS = gemm(cand, S)
+                DSD = gemm(DS, cand)
+                D = 1.5 * DSD - 0.5 * gemm(DS, DSD)
+                warm_started = True
+    if D is None:
+        if guess == "gwh":
+            # Generalized Wolfsberg-Helmholz: F_ij = K/2 (h_ii + h_jj) S_ij
+            hd = np.diag(h)
+            F0 = 0.875 * (hd[:, None] + hd[None, :]) * S
+            np.fill_diagonal(F0, hd)
+            eps, C = eigh_gen(F0, S)
+        elif guess == "core":
+            eps, C = eigh_gen(h, S)
+        else:
+            raise ValueError(f"unknown SCF guess {guess!r}")
+        D = 2.0 * gemm(C[:, :nocc], C[:, :nocc].T)
 
     diis = DIIS() if use_diis else None
     e_old = np.inf
@@ -284,6 +328,7 @@ def rhf(
         converged=converged,
         niter=it,
         method="ri-rhf" if ri else "rhf",
+        warm_started=warm_started,
         aux=aux,
         B=B,
         J2c=J2,

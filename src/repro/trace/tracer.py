@@ -119,6 +119,28 @@ class Tracer:
     # ------------------------------------------------------------------
     # summaries
     # ------------------------------------------------------------------
+    def aggregate_instants(self, name: str) -> tuple[int, dict[str, float]]:
+        """Count instants named ``name`` and sum their numeric args.
+
+        Booleans tally as 0/1, so e.g. ``scf.warm_start`` events with a
+        ``hit`` flag aggregate directly into a hit count:
+
+            count, sums = tracer.aggregate_instants("scf.warm_start")
+            hit_rate = sums.get("hit", 0) / count
+
+        Non-numeric args (strings such as fragment keys) are ignored.
+        """
+        count = 0
+        sums: dict[str, float] = {}
+        for ev in self.events:
+            if ev["ph"] != "i" or ev["name"] != name:
+                continue
+            count += 1
+            for k, v in ev.get("args", {}).items():
+                if isinstance(v, (bool, int, float)):
+                    sums[k] = sums.get(k, 0) + v
+        return count, sums
+
     def summary(self) -> list[tuple[str, str, int, float, float, float]]:
         """Aggregate rows ``(kind, name, count, total_s, mean_s, max_s)``.
 

@@ -93,6 +93,21 @@ class TestAutoTuner:
         assert times == {"NN": 1.0, "NT": 2.0, "TN": 3.0, "TT": 4.0}
         assert min(times, key=times.get) == "NN"
 
+    def test_trial_target_lowered_mid_run_still_commits(self):
+        """The completion check is >=, not ==: if the trial target drops
+        below the samples already taken (trials_per_variant lowered, or
+        a restored trial log past the target), the next call must still
+        commit a winner instead of pinning the shape in trial mode."""
+        tuner = GemmAutoTuner(trials_per_variant=3)
+        A = np.eye(6)
+        key = (6, 6, 6)
+        for _ in range(6):  # mid-way through the 12-trial schedule
+            tuner.gemm(A, A)
+        assert key not in tuner.best
+        tuner.trials_per_variant = 1  # target is now 4 < 7 samples
+        tuner.gemm(A, A)
+        assert key in tuner.best
+
     def test_disabled_tuner_uses_default(self):
         tuner = GemmAutoTuner(enabled=False)
         A = np.eye(4)

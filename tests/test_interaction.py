@@ -72,6 +72,42 @@ class TestCounterpoise:
         assert abs(r.counterpoise) < 1e-4
 
 
+class TestRecoveryRouting:
+    def test_counterpoise_routes_through_recovery_by_default(self, monkeypatch):
+        """All five component solves must get the escalation ladder —
+        ghost-augmented monomer bases are exactly where a bare solve
+        occasionally stalls."""
+        import repro.interaction as interaction
+
+        calls = {"recovery": 0, "bare": 0}
+        real_recovery = interaction.rhf_with_recovery
+        real_rhf = interaction.rhf
+
+        def counting_recovery(*args, **kwargs):
+            calls["recovery"] += 1
+            return real_recovery(*args, **kwargs)
+
+        def counting_rhf(*args, **kwargs):
+            calls["bare"] += 1
+            return real_rhf(*args, **kwargs)
+
+        monkeypatch.setattr(interaction, "rhf_with_recovery",
+                            counting_recovery)
+        monkeypatch.setattr(interaction, "rhf", counting_rhf)
+        a = water_monomer()
+        b = water_monomer().translated(
+            np.array([3.5, 0, 0]) * BOHR_PER_ANGSTROM
+        )
+        counterpoise_interaction(a, b, "sto-3g")
+        assert calls["recovery"] == 5
+        assert calls["bare"] == 0
+
+        calls["recovery"] = calls["bare"] = 0
+        counterpoise_interaction(a, b, "sto-3g", recover=False)
+        assert calls["recovery"] == 0
+        assert calls["bare"] == 5
+
+
 class TestPairEnergies:
     def test_sum_equals_correlation(self, water):
         res = rhf(water, "sto-3g", ri=True)
