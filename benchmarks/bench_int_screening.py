@@ -1,0 +1,212 @@
+"""Schwarz screening + integral workspace: baseline vs accelerated AIMD.
+
+Every MD step re-solves the same fragments at slightly moved geometries,
+so the integral engine's geometry-independent work — shell-pair Hermite
+tables shared by seven drivers per solve, the auxiliary-basis group
+scaffolding (whose E tables do not depend on geometry at all), and the
+Cauchy-Schwarz bound table — is rebuilt thousands of times for nothing.
+This benchmark runs the same short trajectory twice:
+
+* **baseline** — ``IntegralWorkspace(enabled=False)`` (every lookup
+  misses, nothing cached) and ``int_screen=0`` (no integrals skipped);
+* **accelerated** — a fresh workspace plus the default Schwarz
+  screening tolerance (`repro.integrals.workspace.DEFAULT_INT_SCREEN`).
+
+Both runs use cold SCF guesses (``warm_start=False``) so the iteration
+paths are identical and the comparison isolates the integral layer. The
+acceptance gates mirror the screening contract: final total energies
+agree to 1e-9 Ha, SCF iteration counts are *unchanged* (screening at
+1e-12 must not perturb the convergence path), and the accelerated run is
+>= 1.3x faster on the repeated-fragment glycine loop (full mode only —
+smoke runs are too short to time reliably).
+
+Runnable two ways:
+
+* ``python benchmarks/bench_int_screening.py [--smoke] [--json PATH]`` —
+  standalone CLI (CI runs the ``--smoke`` variant) writing a JSON
+  record under ``benchmarks/output/``;
+* ``pytest benchmarks/bench_int_screening.py`` — the harness form used
+  by the other paper benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import format_table  # noqa: E402
+from repro.calculators import GuessCache, RIHFCalculator  # noqa: E402
+from repro.frag import FragmentedSystem  # noqa: E402
+from repro.integrals.workspace import (  # noqa: E402
+    DEFAULT_INT_SCREEN,
+    IntegralWorkspace,
+)
+from repro.md.aimd import run_aimd  # noqa: E402
+from repro.systems import glycine_fragmented, water_cluster  # noqa: E402
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: final total energies of the two runs must agree to this
+ENERGY_TOL_HA = 1.0e-9
+
+#: required wall-time ratio (baseline / accelerated) in full mode
+MIN_SPEEDUP = 1.3
+
+
+def _run(system: FragmentedSystem, nsteps: int, accelerated: bool) -> dict:
+    workspace = IntegralWorkspace(enabled=accelerated)
+    calc = RIHFCalculator(
+        workspace=workspace,
+        int_screen=DEFAULT_INT_SCREEN if accelerated else 0.0,
+        # disabled cache = pure statistics collector: counts the SCF
+        # iterations of every solve without ever serving a guess, so
+        # both runs take identical iteration paths
+        guess_cache=GuessCache(enabled=False),
+    )
+    t0 = time.perf_counter()
+    traj = run_aimd(
+        system, calc, nsteps=nsteps, dt_fs=0.25, temperature_k=100.0,
+        seed=0, r_dimer_bohr=1.0e6, mbe_order=2, replan_interval=1,
+        warm_start=False,
+    )
+    wall = time.perf_counter() - t0
+    ws = workspace.stats()
+    gc = calc.guess_cache.stats()
+    return {
+        "wall_s": wall,
+        "scf_iters": gc["iters_warm"] + gc["iters_cold"],
+        "final_total_energy": float(traj.total[-1]),
+        "workspace_hits": ws["hits"],
+        "workspace_misses": ws["misses"],
+        "pairs_skipped": ws["pairs_skipped"],
+        "pairs_total": ws["pairs_total"],
+        "neglected_bound": ws["neglected_bound"],
+    }
+
+
+def run_experiment(smoke: bool = False) -> dict:
+    """Baseline/accelerated trajectory pairs (glycine chain + water)."""
+    if smoke:
+        cases = [
+            ("glycine-2mer", glycine_fragmented(2), 2),
+            ("water-2", FragmentedSystem.by_components(
+                water_cluster(2, seed=1)), 2),
+        ]
+    else:
+        # the 3-residue chain is the smallest system with genuinely
+        # long-range shell pairs (residues 1<->3), where Schwarz
+        # screening has real traction; MBE2 re-solves every monomer
+        # inside two dimer fragments per step, so the shell-pair cache
+        # sees the cross-fragment reuse pattern of production MBE runs
+        cases = [
+            ("glycine-3mer", glycine_fragmented(3), 3),
+            ("water-3", FragmentedSystem.by_components(
+                water_cluster(3, seed=1)), 6),
+        ]
+    results = {
+        "smoke": smoke,
+        "energy_tol_ha": ENERGY_TOL_HA,
+        "min_speedup": MIN_SPEEDUP,
+        "int_screen": DEFAULT_INT_SCREEN,
+        "cases": [],
+    }
+    for name, system, nsteps in cases:
+        base = _run(system, nsteps, accelerated=False)
+        fast = _run(system, nsteps, accelerated=True)
+        de = abs(fast["final_total_energy"] - base["final_total_energy"])
+        results["cases"].append({
+            "system": name,
+            "natoms": system.parent.natoms,
+            "nsteps": nsteps,
+            "baseline": base,
+            "accelerated": fast,
+            "speedup": base["wall_s"] / max(fast["wall_s"], 1e-12),
+            "final_energy_delta_ha": de,
+            "scf_iters_equal": base["scf_iters"] == fast["scf_iters"],
+        })
+    return results
+
+
+def format_results(results: dict) -> str:
+    rows = []
+    for case in results["cases"]:
+        fast = case["accelerated"]
+        rows.append((
+            case["system"],
+            case["nsteps"],
+            f"{case['baseline']['wall_s']:.1f}",
+            f"{fast['wall_s']:.1f}",
+            f"{case['speedup']:.2f}x",
+            f"{fast['pairs_skipped']}/{fast['pairs_total']}",
+            f"{fast['workspace_hits']}",
+            f"{case['final_energy_delta_ha']:.1e}",
+        ))
+    return format_table(
+        ["system", "steps", "base s", "accel s", "speedup",
+         "skipped", "ws hits", "|dE| Ha"],
+        rows,
+        title="Schwarz screening + integral workspace — baseline vs "
+              "accelerated",
+    )
+
+
+def check_results(results: dict) -> None:
+    """Acceptance gates: exact energies, identical SCF paths, speedup."""
+    for case in results["cases"]:
+        assert case["final_energy_delta_ha"] <= ENERGY_TOL_HA, (
+            f"{case['system']}: screened/exact energies differ by "
+            f"{case['final_energy_delta_ha']:.2e} Ha"
+        )
+        assert case["scf_iters_equal"], (
+            f"{case['system']}: screening changed the SCF iteration count "
+            f"({case['baseline']['scf_iters']} -> "
+            f"{case['accelerated']['scf_iters']})"
+        )
+        assert case["accelerated"]["workspace_hits"] > 0, (
+            f"{case['system']}: the workspace never served an entry"
+        )
+    if not results["smoke"]:
+        gly = results["cases"][0]
+        assert gly["speedup"] >= MIN_SPEEDUP, (
+            f"integral caching+screening sped glycine up only "
+            f"{gly['speedup']:.2f}x (expected >= {MIN_SPEEDUP}x)"
+        )
+
+
+def _write_json(results: dict, path: Path) -> None:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small systems / few steps (CI gate)")
+    ap.add_argument("--json", type=Path,
+                    default=OUTPUT_DIR / "int_screening.json",
+                    help="JSON output path")
+    args = ap.parse_args(argv)
+    results = run_experiment(smoke=args.smoke)
+    table = format_results(results)
+    print(table)
+    _write_json(results, args.json)
+    print(f"\nwrote {args.json}")
+    check_results(results)
+    return 0
+
+
+def test_int_screening_speedup(run_once, record_output):
+    results = run_once(lambda: run_experiment(smoke=False))
+    table = format_results(results)
+    record_output("int_screening", table)
+    _write_json(results, OUTPUT_DIR / "int_screening.json")
+    check_results(results)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

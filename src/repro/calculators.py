@@ -25,6 +25,7 @@ from typing import Protocol
 import numpy as np
 
 from .chem.molecule import Molecule
+from .integrals.workspace import IntegralWorkspace, get_workspace
 from .mp2.mp2 import mp2_ri
 from .mp2.rimp2_grad import rimp2_gradient
 from .numerics import ensure_finite
@@ -212,6 +213,16 @@ class GuessCache:
         )
 
 
+def _resolve_workspace(calc) -> IntegralWorkspace:
+    """The calculator's `IntegralWorkspace` (the process-global one by
+    default), with the calculator's tracer attached so ``int.screen`` /
+    ``workspace.hit`` instants flow into the run trace."""
+    ws = calc.workspace if calc.workspace is not None else get_workspace()
+    if calc.tracer is not None and ws.tracer is None:
+        ws.tracer = calc.tracer
+    return ws
+
+
 def _solve_scf(mol, basis, recover: bool, tracer=None, guess_cache=None,
                **kwargs):
     """Bare `rhf` or the recovery cascade, per the calculator's setting.
@@ -261,6 +272,12 @@ class RIMP2Calculator:
     `repro.trace.Tracer` into the SCF layer so ``scf.recover`` /
     ``scf.recovered`` / ``scf.warm_start`` events are recorded instead
     of silently lost during MD runs.
+
+    ``int_screen`` is the Schwarz screening tolerance forwarded to the
+    three-center integral/derivative drivers (0.0 = exact, no skips);
+    ``workspace`` is an `IntegralWorkspace` memoizing geometry-independent
+    integral intermediates across solves (defaults to the process-global
+    workspace — caching is exact, so results are bitwise unchanged).
     """
 
     basis: str = "sto-3g"
@@ -269,15 +286,20 @@ class RIMP2Calculator:
     recover: bool = True
     guess_cache: GuessCache | None = None
     tracer: object = None
+    int_screen: float = 0.0
+    workspace: IntegralWorkspace | None = None
 
     def energy_gradient(self, mol: Molecule) -> tuple[float, np.ndarray]:
         """RI-HF + RI-MP2 total energy and analytic gradient."""
+        ws = _resolve_workspace(self)
         res = _solve_scf(
             mol, self.basis, self.recover, tracer=self.tracer,
             guess_cache=self.guess_cache, ri=True,
             conv_energy=self.conv_energy, max_iter=self.max_iter,
+            int_screen=self.int_screen, workspace=ws,
         )
-        out = rimp2_gradient(res, return_intermediates=True)
+        out = rimp2_gradient(res, return_intermediates=True,
+                             int_screen=self.int_screen, workspace=ws)
         energy = res.energy + out.e_corr
         ensure_finite(
             f"RI-MP2 on {mol.natoms}-atom fragment",
@@ -289,7 +311,9 @@ class RIMP2Calculator:
         """Energy-only evaluation (skips the gradient machinery)."""
         res = _solve_scf(mol, self.basis, self.recover, tracer=self.tracer,
                          guess_cache=self.guess_cache, ri=True,
-                         conv_energy=self.conv_energy, max_iter=self.max_iter)
+                         conv_energy=self.conv_energy, max_iter=self.max_iter,
+                         int_screen=self.int_screen,
+                         workspace=_resolve_workspace(self))
         energy = res.energy + mp2_ri(res).e_corr
         ensure_finite(f"RI-MP2 on {mol.natoms}-atom fragment", energy=energy)
         return energy
@@ -307,12 +331,16 @@ class RIHFCalculator:
     recover: bool = True
     guess_cache: GuessCache | None = None
     tracer: object = None
+    int_screen: float = 0.0
+    workspace: IntegralWorkspace | None = None
 
     def energy_gradient(self, mol: Molecule) -> tuple[float, np.ndarray]:
         """RI-HF energy and analytic gradient."""
+        ws = _resolve_workspace(self)
         res = _solve_scf(mol, self.basis, self.recover, tracer=self.tracer,
-                         guess_cache=self.guess_cache, ri=True)
-        grad = rhf_gradient_ri(res)
+                         guess_cache=self.guess_cache, ri=True,
+                         int_screen=self.int_screen, workspace=ws)
+        grad = rhf_gradient_ri(res, int_screen=self.int_screen, workspace=ws)
         ensure_finite(
             f"RI-HF on {mol.natoms}-atom fragment",
             energy=res.energy, gradient=grad,
@@ -328,12 +356,16 @@ class ConventionalHFCalculator:
     recover: bool = True
     guess_cache: GuessCache | None = None
     tracer: object = None
+    int_screen: float = 0.0
+    workspace: IntegralWorkspace | None = None
 
     def energy_gradient(self, mol: Molecule) -> tuple[float, np.ndarray]:
         """Conventional four-center HF energy and gradient."""
+        ws = _resolve_workspace(self)
         res = _solve_scf(mol, self.basis, self.recover, tracer=self.tracer,
-                         guess_cache=self.guess_cache, ri=False)
-        grad = rhf_gradient_conventional(res)
+                         guess_cache=self.guess_cache, ri=False,
+                         workspace=ws)
+        grad = rhf_gradient_conventional(res, workspace=ws)
         ensure_finite(
             f"HF on {mol.natoms}-atom fragment",
             energy=res.energy, gradient=grad,

@@ -29,20 +29,32 @@ def _load(path: str, charge: int):
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
+    from .integrals.workspace import DEFAULT_INT_SCREEN
+
     p.add_argument("xyz", help="input geometry (.xyz, Angstrom)")
     p.add_argument("--basis", default="sto-3g",
                    choices=["sto-3g", "repro-dz", "repro-dzp", "repro-tz", "repro-tzp"])
     p.add_argument("--charge", type=int, default=0)
     p.add_argument("--no-ri", action="store_true",
                    help="conventional four-center SCF instead of RI")
+    p.add_argument("--int-screen", type=float, default=DEFAULT_INT_SCREEN,
+                   metavar="TOL",
+                   help="Schwarz screening tolerance for three-center "
+                        "integrals/derivatives: shell blocks whose rigorous "
+                        "bound falls below TOL are skipped, and the summed "
+                        "neglected bound is reported via the tracer. "
+                        "0 disables screening (exact integrals) "
+                        f"[default {DEFAULT_INT_SCREEN:g}]")
 
 
 def cmd_scf(args) -> int:
     """Single-point SCF."""
+    from .integrals.workspace import get_workspace
     from .scf import rhf
 
     mol = _load(args.xyz, args.charge)
-    res = rhf(mol, args.basis, ri=not args.no_ri)
+    res = rhf(mol, args.basis, ri=not args.no_ri,
+              int_screen=args.int_screen, workspace=get_workspace())
     print(f"molecule: {mol.formula()} ({mol.nelectrons} electrons)")
     print(f"method:   {res.method} / {args.basis}")
     print(f"E(SCF) = {res.energy:.10f} Ha   ({res.niter} iterations)")
@@ -53,12 +65,14 @@ def cmd_scf(args) -> int:
 
 def cmd_mp2(args) -> int:
     """Single-point (SCS-)MP2."""
+    from .integrals.workspace import get_workspace
     from .mp2 import mp2_ri
     from .mp2.mp2 import SCS_OS, SCS_SS
     from .scf import rhf
 
     mol = _load(args.xyz, args.charge)
-    res = rhf(mol, args.basis, ri=True)
+    res = rhf(mol, args.basis, ri=True,
+              int_screen=args.int_screen, workspace=get_workspace())
     if args.scs:
         corr = mp2_ri(res, c_os=SCS_OS, c_ss=SCS_SS)
         label = "SCS-MP2"
@@ -73,12 +87,16 @@ def cmd_mp2(args) -> int:
 
 def cmd_grad(args) -> int:
     """Analytic gradient."""
+    from .integrals.workspace import get_workspace
     from .mp2.rimp2_grad import rimp2_gradient
     from .scf import rhf
 
     mol = _load(args.xyz, args.charge)
-    res = rhf(mol, args.basis, ri=True)
-    out = rimp2_gradient(res, return_intermediates=True)
+    ws = get_workspace()
+    res = rhf(mol, args.basis, ri=True,
+              int_screen=args.int_screen, workspace=ws)
+    out = rimp2_gradient(res, return_intermediates=True,
+                         int_screen=args.int_screen, workspace=ws)
     print(f"E(total) = {res.energy + out.e_corr:.10f} Ha")
     print("gradient (Ha/Bohr):")
     for sym, g in zip(mol.symbols, out.gradient):
@@ -95,7 +113,7 @@ def cmd_opt(args) -> int:
     from .opt import optimize
 
     mol = _load(args.xyz, args.charge)
-    calc = RIMP2Calculator(basis=args.basis)
+    calc = RIMP2Calculator(basis=args.basis, int_screen=args.int_screen)
     res = optimize(mol, calc, max_iter=args.max_iter)
     print(f"converged: {res.converged}  iterations: {res.niter}")
     print(f"E(final) = {res.energy:.10f} Ha  grad RMSD = "
@@ -114,24 +132,40 @@ def cmd_aimd(args) -> int:
     from .constants import BOHR_PER_ANGSTROM
     from .frag import FragmentedSystem
     from .gemm import GLOBAL_TUNER
+    from .integrals.workspace import get_workspace
     from .md import AsyncCoordinator, FailurePolicy, run_parallel, run_serial
     from .md.integrators import maxwell_boltzmann_velocities
 
     mol = _load(args.xyz, args.charge)
     system = FragmentedSystem.by_components(mol, group_size=args.group_size)
+    workspace = get_workspace()
+    if args.deterministic:
+        # screening decisions must be a pure function of the current
+        # geometry for bitwise-stable resumes: never serve stale
+        # (displacement-inflated) Schwarz bounds
+        workspace.displacement_tol = 0.0
     if args.surrogate:
         calc = PairwisePotentialCalculator()
     else:
-        calc = RIMP2Calculator(basis=args.basis)
+        calc = RIMP2Calculator(basis=args.basis,
+                               int_screen=args.int_screen)
     v0 = maxwell_boltzmann_velocities(
         mol.masses_au, args.temperature, seed=args.seed
     )
+    if args.gemm_cache:
+        import os as _os
+
+        if _os.path.exists(args.gemm_cache):
+            n = GLOBAL_TUNER.load(args.gemm_cache)
+            print(f"gemm cache: preloaded {n} tuned shapes "
+                  f"from {args.gemm_cache}")
     tracer = None
     if args.trace:
         from .trace import Tracer
 
         tracer = Tracer()
         GLOBAL_TUNER.tracer = tracer
+        workspace.tracer = tracer
     resume = None
     if args.resume:
         from .md import read_checkpoint
@@ -180,7 +214,7 @@ def cmd_aimd(args) -> int:
             )
         report = run_parallel(
             coordinator, calc, nworkers=args.workers, policy=policy,
-            report=prior,
+            report=prior, gemm_cache=args.gemm_cache,
         )
         if report.retries or report.pool_restarts or report.timeouts:
             print(f"fault handling: {report.retries} retries, "
@@ -212,6 +246,21 @@ def cmd_aimd(args) -> int:
               f"{total} SCF iterations "
               f"({cache.iters_warm} warm / {cache.iters_cold} cold), "
               f"{len(cache)} cached densities ({cache.nbytes} bytes)")
+    ws = workspace.stats()
+    if ws["hits"] or ws["misses"]:
+        print(f"integral workspace: {ws['hits']} hits / "
+              f"{ws['misses']} misses, {ws['entries']} entries "
+              f"({ws['nbytes']} bytes), {ws['bound_rebuilds']} Schwarz "
+              f"rebuilds, {ws['stale_serves']} stale serves")
+    if ws["pairs_total"]:
+        note = " (coordinator-side only)" if args.workers > 1 else ""
+        print(f"integral screening: {ws['pairs_skipped']}/"
+              f"{ws['pairs_total']} shell-pair blocks skipped, "
+              f"neglected bound {ws['neglected_bound']:.2e}{note}")
+    if args.gemm_cache:
+        GLOBAL_TUNER.save(args.gemm_cache)
+        print(f"gemm cache: saved {len(GLOBAL_TUNER.best)} tuned shapes "
+              f"to {args.gemm_cache}")
     if tracer is not None:
         GLOBAL_TUNER.tracer = None
         tracer.write_chrome(args.trace)
@@ -318,6 +367,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checkpoint every N retired steps (0 disables)")
     p.add_argument("--resume", metavar="PATH", default=None,
                    help="resume the trajectory from a checkpoint file")
+    p.add_argument("--gemm-cache", metavar="PATH", default=None,
+                   help="persist GEMM autotuner winners to PATH (loaded "
+                        "at startup if present, preloaded into workers, "
+                        "saved atomically at the end of the run)")
     p.set_defaults(func=cmd_aimd)
 
     p = sub.add_parser("project", help="exascale projection (Table V style)")

@@ -22,6 +22,8 @@ copy costs — the same trade the paper tunes over.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -128,6 +130,62 @@ class GemmAutoTuner:
         """Forget all trials and cached variant choices."""
         self.best.clear()
         self.trials.clear()
+
+    def save(self, path: str) -> None:
+        """Persist the committed winner table as JSON (atomically).
+
+        Only ``best`` is stored — in-progress trials are machine-noise
+        measurements not worth carrying across runs. The write goes
+        through a temp file + ``os.replace`` so a crash mid-write can
+        never leave a truncated table behind.
+        """
+        payload = {
+            "version": 1,
+            "best": {
+                f"{m}x{k}x{n}": variant
+                for (m, k, n), variant in sorted(self.best.items())
+            },
+        }
+        data = json.dumps(payload, indent=2).encode()
+        d = os.path.dirname(os.path.abspath(path))
+        os.makedirs(d, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def load(self, path: str) -> int:
+        """Merge a winner table saved by `save`; returns entries loaded.
+
+        Loaded winners are applied directly to ``best`` (existing
+        entries are kept — the current process's own measurements win),
+        so shapes seen in a previous run skip their trial phase
+        entirely. Unknown versions or malformed entries raise
+        ``ValueError`` rather than silently poisoning the tuner.
+        """
+        with open(path, "rb") as fh:
+            payload = json.loads(fh.read().decode())
+        if payload.get("version") != 1:
+            raise ValueError(
+                f"unsupported gemm cache version in {path}: "
+                f"{payload.get('version')!r}"
+            )
+        loaded = 0
+        for shape_str, variant in payload.get("best", {}).items():
+            if variant not in VARIANTS:
+                raise ValueError(
+                    f"unknown gemm variant {variant!r} in {path}"
+                )
+            parts = shape_str.split("x")
+            if len(parts) != 3:
+                raise ValueError(f"bad gemm shape key {shape_str!r} in {path}")
+            key = tuple(int(p) for p in parts)
+            if key not in self.best:
+                self.best[key] = variant
+                loaded += 1
+        return loaded
 
 
 #: Process-global tuner used by the module-level `gemm`.

@@ -7,12 +7,14 @@ integrals, and analytic first derivatives of all of them.
 
 from .boys import boys, boys_array
 from .eri import (
+    aux_function_bounds,
     contract_eri2c_deriv,
     contract_eri3c_deriv,
     contract_eri4c_deriv_hf,
     eri2c,
     eri3c,
     eri4c,
+    schwarz_pair_bounds,
 )
 from .hermite import cartesian_components, e_table, ncart, r_table
 from .onee import (
@@ -26,8 +28,16 @@ from .onee import (
     overlap,
     overlap_deriv,
 )
+from .workspace import (
+    DEFAULT_INT_SCREEN,
+    IntegralWorkspace,
+    get_workspace,
+)
 
 __all__ = [
+    "DEFAULT_INT_SCREEN",
+    "IntegralWorkspace",
+    "aux_function_bounds",
     "boys",
     "boys_array",
     "cartesian_components",
@@ -42,6 +52,7 @@ __all__ = [
     "eri2c",
     "eri3c",
     "eri4c",
+    "get_workspace",
     "hcore",
     "kinetic",
     "ncart",
@@ -49,4 +60,5 @@ __all__ = [
     "overlap",
     "overlap_deriv",
     "r_table",
+    "schwarz_pair_bounds",
 ]

@@ -24,6 +24,7 @@ compiled extension.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -186,9 +187,18 @@ def single_data(sh: Shell, di: int = 0) -> PairData:
     return PairData(sh, sh, a, b, cc, p, P, E, imax, 0)
 
 
+@lru_cache(maxsize=None)
 def comp_arrays(l: int) -> np.ndarray:
-    """Cartesian component power array, shape ``(ncart(l), 3)``."""
-    return np.array(cartesian_components(l), dtype=int)
+    """Cartesian component power array, shape ``(ncart(l), 3)``.
+
+    Memoized: every shell loop in the integral drivers asks for the same
+    handful of momenta. The cached array is marked read-only so an
+    accidental in-place edit fails loudly instead of corrupting every
+    future caller.
+    """
+    arr = np.array(cartesian_components(l), dtype=int)
+    arr.setflags(write=False)
+    return arr
 
 
 @dataclass
@@ -299,10 +309,17 @@ def w_deriv(
     return np.einsum("nabt,nabu,nabv->nabtuv", Gs[0], Gs[1], Gs[2])
 
 
+@lru_cache(maxsize=None)
 def hermite_box(tbox: tuple[int, int, int]) -> np.ndarray:
-    """All (t, u, v) triples of the inclusive box, shape (nT, 3), C-order."""
+    """All (t, u, v) triples of the inclusive box, shape (nT, 3), C-order.
+
+    Memoized (read-only result): the distinct boxes in a run are the few
+    angular-momentum sums of the basis, re-requested per shell pair.
+    """
     tx, ty, tz = tbox
     t, u, v = np.meshgrid(
         np.arange(tx + 1), np.arange(ty + 1), np.arange(tz + 1), indexing="ij"
     )
-    return np.stack([t.ravel(), u.ravel(), v.ravel()], axis=1)
+    box = np.stack([t.ravel(), u.ravel(), v.ravel()], axis=1)
+    box.setflags(write=False)
+    return box

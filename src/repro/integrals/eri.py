@@ -7,6 +7,16 @@ Gaussian Hermite expansion. Derivative drivers contract coefficient
 tensors against integral first derivatives on the fly, exactly as the
 paper's gradient is organized (coefficients first, derivatives never
 stored).
+
+Screening and reuse (paper Sec. V: every bottleneck reduces to
+*screened*, dense contractions): the three-center drivers accept a
+Cauchy-Schwarz ``screen`` threshold — a bra shell pair is skipped when
+``Q_ab * max_P Q_P`` (times the local coefficient magnitude, for the
+derivative drivers) cannot exceed it — plus an optional
+`IntegralWorkspace` that serves cached shell-pair expansion tables,
+auxiliary group scaffolding and bound tables across calls and MD steps.
+Every screened driver accumulates the summed bound of what it skipped,
+so callers get a rigorous estimate of the neglected contribution.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from ..basis.basisset import BasisSet
+    from .workspace import IntegralWorkspace
 from .engine import (
     AuxGroup,
     PairData,
@@ -31,6 +42,24 @@ from .engine import (
 )
 
 _TWO_PI_52 = 2.0 * np.pi**2.5
+
+#: derivative integrals grow like ``2 alpha x extent`` relative to the
+#: plain Schwarz bound; screening decisions on derivative drivers absorb
+#: that in a conservative prefactor
+DERIV_SAFETY = 50.0
+
+
+def _bra_pair(workspace, sha, shb, di: int, dj: int) -> PairData:
+    """Shell-pair tables from the workspace (unified headroom) or fresh."""
+    if workspace is not None:
+        return workspace.pair_data(sha, shb)
+    return pair_data(sha, shb, di, dj)
+
+
+def _aux_groups(workspace, aux, di: int = 0) -> list[AuxGroup]:
+    if workspace is not None:
+        return workspace.aux_groups(aux, di=di)
+    return aux_group_data(aux, di=di)
 
 
 def _combined_R(bra: PairData, ket: PairData, tbox_b, tbox_k) -> np.ndarray:
@@ -104,14 +133,15 @@ def _eri_general(bra: PairData, ket: PairData, ca, cb, cc, cd) -> np.ndarray:
 _S_COMP = comp_arrays(0)
 
 
-def eri2c(aux: BasisSet) -> np.ndarray:
+def eri2c(aux: BasisSet, workspace: IntegralWorkspace | None = None) -> np.ndarray:
     """Two-center Coulomb metric ``(P|Q)``, shape ``(naux, naux)``.
 
     Processed as angular-momentum group pairs: one Hermite batch per
-    (l, l') combination covers the whole metric.
+    (l, l') combination covers the whole metric. ``workspace`` serves the
+    cached (geometry-independent) group scaffolding.
     """
     try:
-        groups = aux_group_data(aux)
+        groups = _aux_groups(workspace, aux)
     except ValueError:
         return _eri2c_pershell(aux)
     n = aux.nbf
@@ -218,24 +248,53 @@ def _group_kernel(
     return _group_apply(M2, Wk, Wb)
 
 
-def eri3c(basis: BasisSet, aux: BasisSet) -> np.ndarray:
+def eri3c(
+    basis: BasisSet,
+    aux: BasisSet,
+    screen: float = 0.0,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
     """Three-center integrals ``(mu nu | P)``, shape ``(nbf, nbf, naux)``.
 
     Auxiliary shells are processed in per-angular-momentum batches: the
     whole fitting basis acts as a handful of 'super-shells', so Python
     overhead is amortized over the full auxiliary dimension.
+
+    With ``screen > 0`` a bra shell pair is skipped when its Schwarz
+    bound ``Q_ab * max_P Q_P`` cannot reach the threshold — every
+    neglected integral is individually below ``screen`` and the summed
+    bound of everything skipped is accounted to the workspace
+    (`IntegralWorkspace.record_screen`). ``workspace`` additionally
+    serves cached pair tables, aux scaffolding and bound tables.
     """
     nb, na = basis.nbf, aux.nbf
     out = np.zeros((nb, nb, na))
-    groups = aux_group_data(aux)
+    groups = _aux_groups(workspace, aux)
+    Q = None
+    if screen > 0.0:
+        Q = (workspace.schwarz_bounds(basis) if workspace is not None
+             else schwarz_pair_bounds(basis))
+        qaux = (workspace.aux_function_bounds(aux) if workspace is not None
+                else aux_function_bounds(aux))
+        qaux_max = float(qaux.max())
+        qaux_sum = float(qaux.sum())
+    nskip = 0
+    npairs = 0
+    neglected = 0.0
     for ish, sha in enumerate(basis.shells):
         oa = basis.offsets[ish]
         ca = comp_arrays(sha.l)
         for jsh in range(ish, basis.nshells):
             shb = basis.shells[jsh]
+            npairs += 1
+            if Q is not None and Q[ish, jsh] * qaux_max <= screen:
+                nskip += 1
+                nfab = sha.nfunc * shb.nfunc * (1 if ish == jsh else 2)
+                neglected += Q[ish, jsh] * qaux_sum * nfab
+                continue
             ob = basis.offsets[jsh]
             cb = comp_arrays(shb.l)
-            bra = pair_data(sha, shb)
+            bra = _bra_pair(workspace, sha, shb, 0, 0)
             L = sha.l + shb.l
             tbox_b = (L, L, L)
             Wb = w_tensor(bra, ca, cb, tbox_b).reshape(bra.nprim, -1, (L + 1) ** 3)
@@ -253,6 +312,8 @@ def eri3c(basis: BasisSet, aux: BasisSet) -> np.ndarray:
                     out[ob : ob + shb.nfunc, oa : oa + sha.nfunc, func_idx] = (
                         blk.transpose(2, 1, 0, 3)
                     )
+    if workspace is not None and screen > 0.0:
+        workspace.record_screen("eri3c", npairs, nskip, neglected)
     return out
 
 
@@ -353,15 +414,18 @@ def _deriv_blocks_pairwise(bra, ket, ca, cb, cc, cd, sides):
     return out
 
 
-def contract_eri2c_deriv(aux: BasisSet, zeta: np.ndarray, natoms: int) -> np.ndarray:
+def contract_eri2c_deriv(
+    aux: BasisSet, zeta: np.ndarray, natoms: int,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
     """``g = sum_{PQ} zeta_{PQ} d(P|Q)/dR``, shape ``(natoms, 3)``.
 
     Uses ``d/dQ = -d/dP``; both sides are processed as angular-momentum
     groups, so the work is a few batched contractions.
     """
     g = np.zeros((natoms, 3))
-    groups_d = aux_group_data(aux, di=1)  # bra side (differentiated)
-    groups = aux_group_data(aux)
+    groups_d = _aux_groups(workspace, aux, di=1)  # bra side (differentiated)
+    groups = _aux_groups(workspace, aux)
     for gb in groups_d:
         cb = comp_arrays(gb.l)
         nb_comp = len(cb)
@@ -403,7 +467,9 @@ def contract_eri2c_deriv(aux: BasisSet, zeta: np.ndarray, natoms: int) -> np.nda
 
 
 def contract_eri3c_deriv(
-    basis: BasisSet, aux: BasisSet, Z: np.ndarray, natoms: int
+    basis: BasisSet, aux: BasisSet, Z: np.ndarray, natoms: int,
+    screen: float = 0.0,
+    workspace: IntegralWorkspace | None = None,
 ) -> np.ndarray:
     """``g = sum_{mu nu P} Z_{mu nu P} d(mu nu|P)/dR``, shape ``(natoms, 3)``.
 
@@ -411,9 +477,17 @@ def contract_eri3c_deriv(
     (mu, nu). Auxiliary-center derivatives follow from translational
     invariance (``dP = -(dA + dB)``); auxiliary shells are processed in
     angular-momentum groups.
+
+    With ``screen > 0`` a bra shell pair is skipped when ``DERIV_SAFETY *
+    Q_ab * max_P Q_P * max |Z|`` over the pair's coefficient slice cannot
+    reach the threshold. Skipping drops the pair's bra derivatives
+    together with their translational-invariance images on the auxiliary
+    centers, so the screened gradient still sums exactly to zero over all
+    atoms. The summed bound of everything skipped is accounted to the
+    workspace.
     """
     g = np.zeros((natoms, 3))
-    groups = aux_group_data(aux)
+    groups = _aux_groups(workspace, aux)
     group_idx = [
         grp.offsets[:, None] + np.arange((grp.l + 1) * (grp.l + 2) // 2)[None, :]
         for grp in groups
@@ -421,15 +495,48 @@ def contract_eri3c_deriv(
     # (mu nu|P) is symmetric in (mu, nu): only the symmetric part of Z
     # contributes, and shell pairs can be restricted to ish <= jsh.
     Z = 0.5 * (Z + Z.transpose(1, 0, 2))
+    Q = None
+    if screen > 0.0:
+        Q = (workspace.schwarz_bounds(basis) if workspace is not None
+             else schwarz_pair_bounds(basis))
+        qaux = (workspace.aux_function_bounds(aux) if workspace is not None
+                else aux_function_bounds(aux))
+        qaux_max = float(qaux.max())
+        qaux_sum = float(qaux.sum())
+        # per-shell-block coefficient magnitudes: Zblk[i, j] = max |Z|
+        # over the (i, j) function block (all aux)
+        offs = basis.offsets
+        nsh = basis.nshells
+        Zabs = np.abs(Z).max(axis=2)
+        Zblk = np.empty((nsh, nsh))
+        for i, shi in enumerate(basis.shells):
+            si = slice(offs[i], offs[i] + shi.nfunc)
+            for j, shj in enumerate(basis.shells):
+                sj = slice(offs[j], offs[j] + shj.nfunc)
+                Zblk[i, j] = Zabs[si, sj].max()
+    nskip = 0
+    npairs = 0
+    neglected = 0.0
     for ish, sha in enumerate(basis.shells):
         oa = basis.offsets[ish]
         ca = comp_arrays(sha.l)
         for jsh in range(ish, basis.nshells):
             shb = basis.shells[jsh]
             pair_fac = 1.0 if ish == jsh else 2.0
+            npairs += 1
+            if Q is not None and (
+                DERIV_SAFETY * Q[ish, jsh] * qaux_max * Zblk[ish, jsh]
+                <= screen
+            ):
+                nskip += 1
+                neglected += (
+                    DERIV_SAFETY * Q[ish, jsh] * Zblk[ish, jsh] * qaux_sum
+                    * sha.nfunc * shb.nfunc * pair_fac
+                )
+                continue
             ob = basis.offsets[jsh]
             cb = comp_arrays(shb.l)
-            bra = pair_data(sha, shb, 1, 1)
+            bra = _bra_pair(workspace, sha, shb, 1, 1)
             L = sha.l + shb.l + 1
             tbox_b = (L, L, L)
             tb_idx = hermite_box(tbox_b)
@@ -458,14 +565,22 @@ def contract_eri3c_deriv(
                     g[sha.atom, axis] += vA.sum()
                     g[shb.atom, axis] += vB.sum()
                     np.subtract.at(g[:, axis], grp.atoms, vA + vB)
+    if workspace is not None and screen > 0.0:
+        workspace.record_screen("eri3c_deriv", npairs, nskip, neglected)
     return g
 
 
-def schwarz_pair_bounds(basis: BasisSet) -> np.ndarray:
+def schwarz_pair_bounds(
+    basis: BasisSet, workspace: IntegralWorkspace | None = None
+) -> np.ndarray:
     """Cauchy-Schwarz bounds ``Q_ij = max sqrt((ab|ab))`` per shell pair.
 
-    Standard screening for the four-center paths: ``|(ab|cd)| <= Q_ab
-    Q_cd``. Shape ``(nshells, nshells)``.
+    Standard screening for all ERI classes: ``|(ab|cd)| <= Q_ab Q_cd``
+    and ``|(ab|P)| <= Q_ab Q_P``. Shape ``(nshells, nshells)``. The bound
+    ignores the component normalization (those are O(1) factors already
+    inside `_eri_general`'s output diagonal). ``workspace`` serves the
+    pair expansion tables; cached *bound tables* live one level up in
+    `IntegralWorkspace.schwarz_bounds`.
     """
     nsh = basis.nshells
     Q = np.zeros((nsh, nsh))
@@ -474,7 +589,7 @@ def schwarz_pair_bounds(basis: BasisSet) -> np.ndarray:
         for j in range(i, nsh):
             shb = basis.shells[j]
             cb = comp_arrays(shb.l)
-            pd = pair_data(sha, shb)
+            pd = _bra_pair(workspace, sha, shb, 0, 0)
             blk = _eri_general(pd, pd, ca, cb, ca, cb)
             na, nb = len(ca), len(cb)
             diag = np.abs(
@@ -484,8 +599,33 @@ def schwarz_pair_bounds(basis: BasisSet) -> np.ndarray:
     return Q
 
 
+def aux_function_bounds(aux: BasisSet) -> np.ndarray:
+    """Cauchy-Schwarz bounds ``Q_P = sqrt((P|P))`` per auxiliary function.
+
+    Shape ``(naux,)``. ``(P|P)`` is translation invariant, so identical
+    shells (same momentum, exponents, coefficients — the common case for
+    even-tempered fitting bases) share one evaluation.
+    """
+    q = np.empty(aux.nbf)
+    memo: dict[tuple, np.ndarray] = {}
+    for i, sh in enumerate(aux.shells):
+        key = (sh.l, sh.exps.tobytes(), sh.coefs.tobytes())
+        vals = memo.get(key)
+        if vals is None:
+            sd = single_data(sh)
+            comps = comp_arrays(sh.l)
+            blk = _eri_general(sd, sd, comps, _S_COMP, comps, _S_COMP)
+            diag = np.abs(np.diagonal(blk[:, 0, :, 0])) * sh.comp_norms**2
+            vals = np.sqrt(diag)
+            memo[key] = vals
+        off = aux.offsets[i]
+        q[off : off + sh.nfunc] = vals
+    return q
+
+
 def contract_eri4c_deriv_hf(
-    basis: BasisSet, D: np.ndarray, natoms: int, screen: float = 1.0e-11
+    basis: BasisSet, D: np.ndarray, natoms: int, screen: float = 1.0e-11,
+    workspace: IntegralWorkspace | None = None,
 ) -> np.ndarray:
     """Two-electron part of the conventional RHF gradient.
 
@@ -499,26 +639,33 @@ def contract_eri4c_deriv_hf(
     weighted by the quartet's degeneracy/8. The fourth center's
     derivative follows from translational invariance. This is the
     four-center bottleneck RI-HF eliminates (paper Fig. 3).
+
+    ``workspace`` serves the Schwarz bound and per-shell-block ``Dmax``
+    tables (recomputed from scratch on every call otherwise) plus the
+    pair expansion tables.
     """
+    from .workspace import _dmax_table
+
     g = np.zeros((natoms, 3))
     shells = basis.shells
     offs = basis.offsets
     comps = [comp_arrays(sh.l) for sh in shells]
     nsh = len(shells)
     npairs = [(i, j) for i in range(nsh) for j in range(i, nsh)]
-    pds = {ij: pair_data(shells[ij[0]], shells[ij[1]], 1, 1) for ij in npairs}
-    Q = schwarz_pair_bounds(basis)
-    # per-slice density magnitudes for the screening bound
-    nb = basis.nbf
-    Dmax = np.zeros((nsh, nsh))
-    for i in range(nsh):
-        si_ = slice(offs[i], offs[i] + shells[i].nfunc)
-        for j in range(nsh):
-            sj_ = slice(offs[j], offs[j] + shells[j].nfunc)
-            Dmax[i, j] = float(np.abs(D[si_, sj_]).max())
-    # derivative integrals grow like 2*alpha*extent relative to the plain
-    # Schwarz bound; absorb that in a conservative prefactor
-    safety = 50.0
+    pds = {
+        ij: _bra_pair(workspace, shells[ij[0]], shells[ij[1]], 1, 1)
+        for ij in npairs
+    }
+    if workspace is not None:
+        Q = workspace.schwarz_bounds(basis)
+        Dmax = workspace.dmax_blocks(basis, D)
+    else:
+        Q = schwarz_pair_bounds(basis)
+        Dmax = _dmax_table(basis, D)
+    safety = DERIV_SAFETY
+    nskip = 0
+    nquartets = 0
+    neglected = 0.0
     for pi, (i, j) in enumerate(npairs):
         si = slice(offs[i], offs[i] + shells[i].nfunc)
         sj = slice(offs[j], offs[j] + shells[j].nfunc)
@@ -526,12 +673,19 @@ def contract_eri4c_deriv_hf(
             atoms = (shells[i].atom, shells[j].atom, shells[k].atom, shells[l].atom)
             if atoms[0] == atoms[1] == atoms[2] == atoms[3]:
                 continue
+            nquartets += 1
             gbound = 8.0 * max(
                 Dmax[i, j] * Dmax[k, l],
                 Dmax[i, l] * Dmax[j, k],
                 Dmax[i, k] * Dmax[j, l],
             )
             if safety * Q[i, j] * Q[k, l] * gbound < screen:
+                nskip += 1
+                neglected += (
+                    safety * Q[i, j] * Q[k, l] * gbound
+                    * shells[i].nfunc * shells[j].nfunc
+                    * shells[k].nfunc * shells[l].nfunc
+                )
                 continue
             sk = slice(offs[k], offs[k] + shells[k].nfunc)
             sl_ = slice(offs[l], offs[l] + shells[l].nfunc)
@@ -564,4 +718,6 @@ def contract_eri4c_deriv_hf(
             g[atoms[1]] += vB
             g[atoms[2]] += vC
             g[atoms[3]] -= vA + vB + vC
+    if workspace is not None:
+        workspace.record_screen("eri4c_deriv", nquartets, nskip, neglected)
     return g

@@ -15,6 +15,8 @@ compared to the contractions that consume them.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from .boys import boys
@@ -108,17 +110,20 @@ def r_table(tmax: int, umax: int, vmax: int, p: float, PQ: np.ndarray) -> np.nda
     return Rn[0]
 
 
-def cartesian_components(l: int) -> list[tuple[int, int, int]]:
+@lru_cache(maxsize=None)
+def cartesian_components(l: int) -> tuple[tuple[int, int, int], ...]:
     """Cartesian component exponents ``(lx, ly, lz)`` for shell momentum l.
 
     Ordering is lexicographic with x decreasing first (the GAMESS/common
     convention): e.g. for l=1 -> x, y, z; l=2 -> xx, xy, xz, yy, yz, zz.
+    Memoized (and returned as an immutable tuple): the set of momenta in
+    a run is tiny while every shell loop asks for it.
     """
     comps = []
     for lx in range(l, -1, -1):
         for ly in range(l - lx, -1, -1):
             comps.append((lx, ly, l - lx - ly))
-    return comps
+    return tuple(comps)
 
 
 def ncart(l: int) -> int:

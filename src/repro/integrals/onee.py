@@ -23,6 +23,9 @@ from .engine import (
     w_tensor,
 )
 
+if TYPE_CHECKING:
+    from .workspace import IntegralWorkspace
+
 _SQ = np.pi**1.5
 
 
@@ -30,7 +33,21 @@ def _pair_norms(sha, shb) -> np.ndarray:
     return np.outer(sha.comp_norms, shb.comp_norms)
 
 
-def overlap(basis: BasisSet) -> np.ndarray:
+def _pd(workspace, sha, shb, di: int, dj: int):
+    """Pair tables from the workspace (unified headroom) or fresh.
+
+    The cached tables carry ``(di=1, dj=2)`` headroom, a superset of what
+    every one-electron driver needs, and their shared entries are bitwise
+    identical to a minimal build.
+    """
+    if workspace is not None:
+        return workspace.pair_data(sha, shb)
+    return pair_data(sha, shb, di, dj)
+
+
+def overlap(
+    basis: BasisSet, workspace: IntegralWorkspace | None = None
+) -> np.ndarray:
     """Overlap matrix S, shape ``(nbf, nbf)``."""
     n = basis.nbf
     S = np.zeros((n, n))
@@ -41,7 +58,7 @@ def overlap(basis: BasisSet) -> np.ndarray:
             shb = basis.shells[jsh]
             ob = basis.offsets[jsh]
             cb = comp_arrays(shb.l)
-            pd = pair_data(sha, shb)
+            pd = _pd(workspace, sha, shb, 0, 0)
             W = w_tensor(pd, ca, cb, (0, 0, 0))[:, :, :, 0, 0, 0]
             pref = pd.cc * (np.pi / pd.p) ** 1.5
             blk = np.einsum("n,nab->ab", pref, W) * _pair_norms(sha, shb)
@@ -85,7 +102,9 @@ def _kinetic_block(pd, ca, cb) -> np.ndarray:
     return np.einsum("n,nab->ab", pref, tot)
 
 
-def kinetic(basis: BasisSet) -> np.ndarray:
+def kinetic(
+    basis: BasisSet, workspace: IntegralWorkspace | None = None
+) -> np.ndarray:
     """Kinetic-energy matrix T, shape ``(nbf, nbf)``."""
     n = basis.nbf
     T = np.zeros((n, n))
@@ -96,7 +115,7 @@ def kinetic(basis: BasisSet) -> np.ndarray:
             shb = basis.shells[jsh]
             ob = basis.offsets[jsh]
             cb = comp_arrays(shb.l)
-            pd = pair_data(sha, shb, 0, 2)
+            pd = _pd(workspace, sha, shb, 0, 2)
             blk = _kinetic_block(pd, ca, cb) * _pair_norms(sha, shb)
             T[oa : oa + sha.nfunc, ob : ob + shb.nfunc] = blk
             T[ob : ob + shb.nfunc, oa : oa + sha.nfunc] = blk.T
@@ -116,7 +135,10 @@ def _nuclear_R(pd, tbox, centers: np.ndarray) -> np.ndarray:
     return R.reshape(nC, n, -1)
 
 
-def nuclear(basis: BasisSet, mol: Molecule) -> np.ndarray:
+def nuclear(
+    basis: BasisSet, mol: Molecule,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
     """Nuclear-attraction matrix V (negative definite), shape ``(nbf, nbf)``."""
     n = basis.nbf
     V = np.zeros((n, n))
@@ -129,7 +151,7 @@ def nuclear(basis: BasisSet, mol: Molecule) -> np.ndarray:
             shb = basis.shells[jsh]
             ob = basis.offsets[jsh]
             cb = comp_arrays(shb.l)
-            pd = pair_data(sha, shb)
+            pd = _pd(workspace, sha, shb, 0, 0)
             L = sha.l + shb.l
             tbox = (L, L, L)
             W = w_tensor(pd, ca, cb, tbox)
@@ -143,16 +165,22 @@ def nuclear(basis: BasisSet, mol: Molecule) -> np.ndarray:
     return V
 
 
-def hcore(basis: BasisSet, mol: Molecule) -> np.ndarray:
+def hcore(
+    basis: BasisSet, mol: Molecule,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
     """Core Hamiltonian h = T + V."""
-    return kinetic(basis) + nuclear(basis, mol)
+    return kinetic(basis, workspace) + nuclear(basis, mol, workspace)
 
 
 # --------------------------------------------------------------------------
 # Contracted derivatives
 # --------------------------------------------------------------------------
 
-def contract_overlap_deriv(basis: BasisSet, X: np.ndarray) -> np.ndarray:
+def contract_overlap_deriv(
+    basis: BasisSet, X: np.ndarray,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
     """``g[atom, xyz] = sum_{mu nu} X_{mu nu} dS_{mu nu}/d(atom, xyz)``.
 
     Loops over all ordered shell pairs; uses translational invariance
@@ -170,7 +198,7 @@ def contract_overlap_deriv(basis: BasisSet, X: np.ndarray) -> np.ndarray:
                 continue  # derivative vanishes by invariance
             ob = basis.offsets[jsh]
             cb = comp_arrays(shb.l)
-            pd = pair_data(sha, shb, 1, 0)
+            pd = _pd(workspace, sha, shb, 1, 0)
             pref = pd.cc * (np.pi / pd.p) ** 1.5
             Xblk = Xs[oa : oa + sha.nfunc, ob : ob + shb.nfunc] * _pair_norms(sha, shb)
             for axis in range(3):
@@ -181,7 +209,10 @@ def contract_overlap_deriv(basis: BasisSet, X: np.ndarray) -> np.ndarray:
     return g
 
 
-def contract_kinetic_deriv(basis: BasisSet, X: np.ndarray) -> np.ndarray:
+def contract_kinetic_deriv(
+    basis: BasisSet, X: np.ndarray,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
     """``sum X_{mu nu} dT_{mu nu}/dR`` via bra-side differentiation."""
     natoms = int(max(sh.atom for sh in basis.shells)) + 1
     g = np.zeros((natoms, 3))
@@ -195,7 +226,7 @@ def contract_kinetic_deriv(basis: BasisSet, X: np.ndarray) -> np.ndarray:
                 continue
             ob = basis.offsets[jsh]
             cb = comp_arrays(shb.l)
-            pd = pair_data(sha, shb, 1, 2)
+            pd = _pd(workspace, sha, shb, 1, 2)
             Xblk = Xs[oa : oa + sha.nfunc, ob : ob + shb.nfunc] * _pair_norms(sha, shb)
             for axis in range(3):
                 blk = _kinetic_deriv_block(pd, ca, cb, axis)
@@ -243,7 +274,10 @@ def _kinetic_deriv_block(pd, ca, cb, axis) -> np.ndarray:
     return np.einsum("n,nab->ab", pref, tot)
 
 
-def contract_nuclear_deriv(basis: BasisSet, mol: Molecule, X: np.ndarray) -> np.ndarray:
+def contract_nuclear_deriv(
+    basis: BasisSet, mol: Molecule, X: np.ndarray,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
     """``sum X_{mu nu} dV_{mu nu}/dR`` including operator-center terms.
 
     Bra/ket derivatives come from the angular-momentum shift; the
@@ -263,7 +297,7 @@ def contract_nuclear_deriv(basis: BasisSet, mol: Molecule, X: np.ndarray) -> np.
             shb = basis.shells[jsh]
             ob = basis.offsets[jsh]
             cb = comp_arrays(shb.l)
-            pd = pair_data(sha, shb, 1, 1)
+            pd = _pd(workspace, sha, shb, 1, 1)
             L = sha.l + shb.l + 1
             tbox = (L, L, L)
             R = _nuclear_R(pd, tbox, centers)  # (nC, n, nT)
@@ -289,9 +323,13 @@ def contract_nuclear_deriv(basis: BasisSet, mol: Molecule, X: np.ndarray) -> np.
     return g
 
 
-def contract_hcore_deriv(basis: BasisSet, mol: Molecule, X: np.ndarray) -> np.ndarray:
+def contract_hcore_deriv(
+    basis: BasisSet, mol: Molecule, X: np.ndarray,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
     """``sum X_{mu nu} dh_{mu nu}/dR`` with h = T + V."""
-    return contract_kinetic_deriv(basis, X) + contract_nuclear_deriv(basis, mol, X)
+    return (contract_kinetic_deriv(basis, X, workspace)
+            + contract_nuclear_deriv(basis, mol, X, workspace))
 
 
 def overlap_deriv(basis: BasisSet, natoms: int | None = None) -> np.ndarray:

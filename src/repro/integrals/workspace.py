@@ -1,0 +1,397 @@
+"""Cross-call integral workspace: screening bounds and shell-pair caching.
+
+An MBE-AIMD step evaluates thousands of fragment energy/gradient pairs,
+and every one of them used to rebuild the same geometry-independent
+integral machinery from scratch: Hermite E tables for each shell pair
+(seven separate `pair_data` builds per pair per solve across
+overlap/kinetic/nuclear/3c/derivative drivers), the auxiliary-basis
+angular-momentum grouping (whose E tables do not depend on geometry at
+all — the dummy partner sits on the same center), and the Cauchy-Schwarz
+bound table (as expensive as a full `eri3c` build). This is exactly the
+redundant work the paper's performance model assumes away (Sec. V: all
+bottlenecks reduce to *screened*, dense GEMMs) and that CP2K's exascale
+effort attributes to missing integral reuse.
+
+`IntegralWorkspace` is the per-process fix, mirroring the shape of
+`repro.calculators.GuessCache`:
+
+* **LRU byte budget** — every cached payload is accounted; least
+  recently used entries are evicted first, so million-fragment plans
+  cannot exhaust worker memory.
+* **Composition keys** — entries are keyed on the *composition* of the
+  basis (per-shell angular momentum, owning atom, exponents and
+  contraction coefficients), never on object identity, so the freshly
+  rebuilt `BasisSet` of the same fragment at the next MD step hits.
+* **Exact vs slowly-varying** — shell-pair E tables are keyed on the
+  exact centers (bitwise-identical reuse within one geometry, natural
+  misses across steps); auxiliary group scaffolding is geometry-
+  independent and reused with only the centers refreshed; Schwarz
+  bounds are smooth in the geometry and are re-screened only when an
+  atom has moved beyond ``displacement_tol`` bohr since they were
+  computed, with a conservative ``stale_safety`` inflation applied to
+  served-while-stale bounds.
+* **Determinism** — with ``displacement_tol = 0.0`` the bounds are
+  recomputed whenever the geometry changed at all, so every screening
+  decision is a pure function of the current geometry and a resumed
+  run takes bitwise-identical screening decisions (``--deterministic``
+  pins this; see docs/PERFORMANCE.md).
+
+All caching is *exact* (served arrays are bitwise what a fresh build
+would produce); only the screening threshold (``screen`` / the
+calculators' ``int_screen``) changes numbers, and the workspace tracks
+the summed neglected Schwarz bound so callers can report a rigorous
+error estimate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+#: default screening threshold for the calculators / CLI (``--int-screen``);
+#: the neglected per-integral bound, chosen so total energies stay within
+#: 1e-9 Ha of the unscreened path on the benchmark systems
+DEFAULT_INT_SCREEN = 1.0e-12
+
+#: re-screen Schwarz bounds when any atom moved further than this (bohr)
+DEFAULT_DISPLACEMENT_TOL = 0.25
+
+#: inflation applied to Schwarz bounds served while stale (atoms moved,
+#: but less than the tolerance) — keeps the screening conservative
+DEFAULT_STALE_SAFETY = 16.0
+
+
+def _shell_sig(sh) -> tuple:
+    """Geometry-free identity of one shell (momentum, atom, primitives)."""
+    return (sh.l, sh.atom, sh.exps.tobytes(), sh.coefs.tobytes())
+
+
+def basis_composition_key(basis) -> tuple:
+    """Geometry-free identity of a whole basis (shell order included)."""
+    return tuple(_shell_sig(sh) for sh in basis.shells)
+
+
+def _centers(basis) -> np.ndarray:
+    return np.array([sh.center for sh in basis.shells])
+
+
+class IntegralWorkspace:
+    """Per-process cache of integral-engine intermediates (LRU budgeted).
+
+    Products served (all keyed on basis composition):
+
+    * `pair_data` — shell-pair Hermite expansion tables with unified
+      derivative headroom ``(di=1, dj=2)``, keyed on the exact pair
+      geometry, so the 3c, derivative, Schwarz and one-electron drivers
+      all share one build per pair per geometry;
+    * `aux_groups` — the auxiliary angular-momentum grouping with its
+      (geometry-independent) E tables cached and only the centers
+      refreshed per call;
+    * `schwarz_bounds` — the Cauchy-Schwarz shell-pair bound table,
+      re-screened only when the geometry drifted beyond
+      ``displacement_tol`` (stale serves are inflated by
+      ``stale_safety``);
+    * `aux_function_bounds` — per-auxiliary-function bounds
+      ``sqrt((P|P))`` (translation invariant, cached exactly);
+    * `dmax_blocks` — per-shell-block max |D| tables for the 4c
+      derivative driver, keyed on the density bytes.
+
+    ``enabled=False`` turns every lookup into a miss and stores nothing
+    (statistics-only mode, mirroring `GuessCache`). ``tracer`` receives
+    ``workspace.hit`` instants for the coarse products and
+    ``int.screen`` instants from the screened drivers.
+    """
+
+    def __init__(self, max_bytes: int = 256 * 2**20, enabled: bool = True,
+                 displacement_tol: float = DEFAULT_DISPLACEMENT_TOL,
+                 stale_safety: float = DEFAULT_STALE_SAFETY,
+                 tracer=None) -> None:
+        if displacement_tol < 0.0:
+            raise ValueError(
+                f"displacement_tol must be >= 0, got {displacement_tol}"
+            )
+        if stale_safety < 1.0:
+            raise ValueError(
+                f"stale_safety must be >= 1, got {stale_safety}"
+            )
+        self.max_bytes = int(max_bytes)
+        self.enabled = enabled
+        self.displacement_tol = float(displacement_tol)
+        self.stale_safety = float(stale_safety)
+        self.tracer = tracer
+        #: key -> (payload, nbytes); LRU order, most recent last
+        self._entries: OrderedDict[tuple, tuple[object, int]] = OrderedDict()
+        self._nbytes = 0
+        # counters
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bound_rebuilds = 0
+        self.stale_serves = 0
+        # screening accounting (accumulated by the screened drivers)
+        self.pairs_total = 0
+        self.pairs_skipped = 0
+        self.neglected_bound = 0.0
+
+    # ------------------------------------------------------------------
+    # LRU plumbing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Current total payload size of the cached arrays."""
+        return self._nbytes
+
+    def _get(self, key: tuple):
+        if not self.enabled:
+            self.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def _put(self, key: tuple, payload, nbytes: int) -> None:
+        if not self.enabled:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._nbytes -= old[1]
+        self._entries[key] = (payload, int(nbytes))
+        self._nbytes += int(nbytes)
+        while self._nbytes > self.max_bytes and len(self._entries) > 1:
+            _, (_, freed) = self._entries.popitem(last=False)
+            self._nbytes -= freed
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+        self._nbytes = 0
+
+    # ------------------------------------------------------------------
+    # shell-pair expansion tables
+    # ------------------------------------------------------------------
+    #: unified derivative headroom: covers every driver in the stack
+    #: (bra derivatives need di=1; the kinetic operator needs dj=2)
+    PAIR_DI = 1
+    PAIR_DJ = 2
+
+    def pair_data(self, sha, shb):
+        """Cached `PairData` for a shell pair at its exact geometry.
+
+        Built with unified headroom ``(di=1, dj=2)`` so one entry serves
+        the plain, derivative, and kinetic drivers alike — entries of
+        the enlarged E table at lower indices are bitwise identical to a
+        smaller build (the recursion only ever reads lower entries).
+        """
+        from .engine import pair_data
+
+        key = ("pair", _shell_sig(sha), _shell_sig(shb),
+               sha.center.tobytes(), shb.center.tobytes())
+        pd = self._get(key)
+        if pd is None:
+            pd = pair_data(sha, shb, self.PAIR_DI, self.PAIR_DJ)
+            self._put(key, pd, pd.E.nbytes + pd.P.nbytes + 4 * pd.a.nbytes)
+        return pd
+
+    # ------------------------------------------------------------------
+    # auxiliary group scaffolding
+    # ------------------------------------------------------------------
+    def aux_groups(self, aux, di: int = 0) -> list:
+        """Auxiliary angular-momentum groups with refreshed centers.
+
+        The expensive part of `aux_group_data` — the per-group E tables —
+        does not depend on geometry at all (the dummy ``b = 0`` partner
+        sits on the shell's own center, so ``AB = 0`` always); only the
+        composite centers ``P`` do. The scaffolding is therefore cached
+        on composition alone and every call rebuilds just the (cheap)
+        `PairData`/`AuxGroup` shells around fresh centers.
+        """
+        from .engine import AuxGroup, PairData, aux_group_data
+
+        key = ("auxgrp", basis_composition_key(aux), di)
+        scaffold = self._get(key)
+        if scaffold is None:
+            groups = aux_group_data(aux, di=di)
+            # idxs: member-shell indices per group (to refresh centers)
+            by_l: dict[int, list[int]] = {}
+            for idx, sh in enumerate(aux.shells):
+                by_l.setdefault(sh.l, []).append(idx)
+            scaffold = []
+            nbytes = 0
+            for grp in groups:
+                idxs = np.array(by_l[grp.l], dtype=int)
+                scaffold.append((grp, idxs))
+                nbytes += grp.pd.E.nbytes + grp.offsets.nbytes
+            self._put(key, scaffold, nbytes)
+            if self.tracer:
+                self.tracer.instant(
+                    "workspace.hit", cat="integrals", product="aux_groups",
+                    hit=False, di=di,
+                )
+            return [grp for grp, _ in scaffold]
+        if self.tracer:
+            self.tracer.instant(
+                "workspace.hit", cat="integrals", product="aux_groups",
+                hit=True, di=di,
+            )
+        out = []
+        for grp, idxs in scaffold:
+            P = np.array([aux.shells[i].center for i in idxs])
+            sh0 = aux.shells[idxs[0]]
+            pd = PairData(
+                sh0, sh0, grp.pd.a, grp.pd.b, grp.pd.cc, grp.pd.p, P,
+                grp.pd.E, grp.pd.imax, grp.pd.jmax,
+            )
+            out.append(AuxGroup(
+                l=grp.l, pd=pd,
+                atoms=np.array([aux.shells[i].atom for i in idxs]),
+                offsets=np.array([aux.offsets[i] for i in idxs]),
+                comp_norms=sh0.comp_norms,
+            ))
+        return out
+
+    # ------------------------------------------------------------------
+    # screening bound tables
+    # ------------------------------------------------------------------
+    def schwarz_bounds(self, basis) -> np.ndarray:
+        """Cauchy-Schwarz shell-pair bounds, re-screened on displacement.
+
+        Served exactly when the geometry is unchanged; inflated by
+        ``stale_safety`` when atoms moved by no more than
+        ``displacement_tol`` (the bound is smooth in the geometry, so a
+        bounded move costs a bounded factor — the inflation keeps the
+        screen conservative); recomputed beyond the tolerance.
+        """
+        from .eri import schwarz_pair_bounds
+
+        key = ("schwarz", basis_composition_key(basis))
+        coords = _centers(basis)
+        cached = self._get(key)
+        if cached is not None:
+            Q, ref = cached
+            disp = float(np.max(np.linalg.norm(coords - ref, axis=1)))
+            if disp == 0.0:
+                if self.tracer:
+                    self.tracer.instant(
+                        "workspace.hit", cat="integrals", product="schwarz",
+                        hit=True, stale=False,
+                    )
+                return Q
+            if disp <= self.displacement_tol:
+                self.stale_serves += 1
+                if self.tracer:
+                    self.tracer.instant(
+                        "workspace.hit", cat="integrals", product="schwarz",
+                        hit=True, stale=True, displacement=disp,
+                    )
+                return Q * self.stale_safety
+        Q = schwarz_pair_bounds(basis, workspace=self)
+        self.bound_rebuilds += 1
+        self._put(key, (Q, coords), Q.nbytes + coords.nbytes)
+        if self.tracer:
+            self.tracer.instant(
+                "workspace.hit", cat="integrals", product="schwarz",
+                hit=False,
+            )
+        return Q
+
+    def aux_function_bounds(self, aux) -> np.ndarray:
+        """Per-auxiliary-function bounds ``sqrt((P|P))``, shape (naux,).
+
+        ``(P|P)`` is translation invariant, so the table depends only on
+        the composition and caches exactly.
+        """
+        from .eri import aux_function_bounds
+
+        key = ("auxbound", basis_composition_key(aux))
+        q = self._get(key)
+        if q is None:
+            q = aux_function_bounds(aux)
+            self._put(key, q, q.nbytes)
+        return q
+
+    def dmax_blocks(self, basis, D: np.ndarray) -> np.ndarray:
+        """Per-shell-block ``max |D|`` table for 4c screening.
+
+        Keyed on the density bytes: the conventional gradient driver is
+        typically invoked more than once with the same converged density
+        (screened-vs-exact comparisons, repeated property evaluations).
+        """
+        key = ("dmax", basis_composition_key(basis), hash(D.tobytes()))
+        table = self._get(key)
+        if table is None:
+            table = _dmax_table(basis, D)
+            self._put(key, table, table.nbytes)
+        return table
+
+    # ------------------------------------------------------------------
+    # screening statistics
+    # ------------------------------------------------------------------
+    def record_screen(self, kind: str, pairs_total: int, pairs_skipped: int,
+                      neglected_bound: float) -> None:
+        """Account one screened driver pass (and emit ``int.screen``)."""
+        self.pairs_total += int(pairs_total)
+        self.pairs_skipped += int(pairs_skipped)
+        self.neglected_bound += float(neglected_bound)
+        if self.tracer:
+            self.tracer.instant(
+                "int.screen", cat="integrals", kind=kind,
+                pairs=int(pairs_total), skipped=int(pairs_skipped),
+                neglected=float(neglected_bound),
+            )
+
+    def stats(self) -> dict:
+        """Counters snapshot (cache traffic + screening accounting)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bound_rebuilds": self.bound_rebuilds,
+            "stale_serves": self.stale_serves,
+            "entries": len(self._entries),
+            "nbytes": self._nbytes,
+            "pairs_total": self.pairs_total,
+            "pairs_skipped": self.pairs_skipped,
+            "neglected_bound": self.neglected_bound,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"IntegralWorkspace(entries={len(self._entries)}, "
+            f"nbytes={self._nbytes}, hits={self.hits}, "
+            f"misses={self.misses}, enabled={self.enabled})"
+        )
+
+
+def _dmax_table(basis, D: np.ndarray) -> np.ndarray:
+    """``Dmax[i, j] = max |D[block i, block j]|`` over shell blocks."""
+    nsh = basis.nshells
+    offs = basis.offsets
+    table = np.empty((nsh, nsh))
+    absD = np.abs(D)
+    for i, sha in enumerate(basis.shells):
+        si = slice(offs[i], offs[i] + sha.nfunc)
+        for j, shb in enumerate(basis.shells):
+            sj = slice(offs[j], offs[j] + shb.nfunc)
+            table[i, j] = absD[si, sj].max()
+    return table
+
+
+#: process-global workspace used by the calculators when none is given
+_GLOBAL_WORKSPACE: IntegralWorkspace | None = None
+
+
+def get_workspace() -> IntegralWorkspace:
+    """The per-process shared `IntegralWorkspace` (created on first use)."""
+    global _GLOBAL_WORKSPACE
+    if _GLOBAL_WORKSPACE is None:
+        _GLOBAL_WORKSPACE = IntegralWorkspace()
+    return _GLOBAL_WORKSPACE

@@ -169,14 +169,31 @@ class FaultInjectingCalculator:
 #: and repopulates — losing iterations, never correctness.
 _WORKER_GUESS_CACHE = None
 
+#: Paths whose GEMM winner tables this worker has already merged into
+#: its process-global tuner (so the file is read once per worker, not
+#: once per task).
+_WORKER_GEMM_LOADED: set[str] = set()
 
-def _evaluate(calculator, molecule, attempt: int, warm_start: bool = False):
+
+def _evaluate(calculator, molecule, attempt: int, warm_start: bool = False,
+              gemm_cache: str | None = None):
     """Worker-side entry point; forwards the attempt number if supported.
 
     With ``warm_start``, the process-local `GuessCache` is attached to
     the (worker's copy of the) calculator before evaluation, so
     resubmissions, retries, and pool rebuilds repopulate the cache
     rather than crash or leak state across tasks.
+
+    The integral workspace needs no explicit attachment here: QM
+    calculators with ``workspace=None`` resolve to the worker's
+    process-global `IntegralWorkspace` singleton, which — exactly like
+    the guess cache — lives in worker module state, survives from task
+    to task, and simply starts cold after a pool rebuild.
+
+    ``gemm_cache`` (a path to a `GemmAutoTuner.save` table) is merged
+    into the worker's process-global tuner once per worker, so freshly
+    forked/spawned workers skip the GEMM trial phase for every shape a
+    previous run already tuned.
 
     Results pass a NaN/Inf sentinel before leaving the worker: silent
     divergence becomes a typed `NumericalDivergenceError` that travels
@@ -190,6 +207,15 @@ def _evaluate(calculator, molecule, attempt: int, warm_start: bool = False):
 
             _WORKER_GUESS_CACHE = GuessCache()
         calculator.guess_cache = _WORKER_GUESS_CACHE
+    if gemm_cache and gemm_cache not in _WORKER_GEMM_LOADED:
+        _WORKER_GEMM_LOADED.add(gemm_cache)
+        if os.path.exists(gemm_cache):
+            from ..gemm.autotune import GLOBAL_TUNER
+
+            try:
+                GLOBAL_TUNER.load(gemm_cache)
+            except ValueError:
+                pass  # a corrupt table costs re-tuning, never the run
     if getattr(calculator, "accepts_attempt", False):
         e, g = calculator.energy_gradient(molecule, attempt=attempt)
     else:
@@ -221,6 +247,7 @@ def run_parallel(
     tracer=None,
     mp_start: str = "fork",
     report: DriverReport | None = None,
+    gemm_cache: str | None = None,
 ) -> DriverReport:
     """Drive a coordinator to completion with a fault-tolerant pool.
 
@@ -234,6 +261,11 @@ def run_parallel(
     checkpoint/resume boundary; the report is also attached to the
     coordinator (``coordinator.driver_report``) so periodic checkpoints
     record the fault-handling history alongside the dynamics.
+
+    ``gemm_cache`` names a GEMM winner table (see
+    `repro.gemm.autotune.GemmAutoTuner.save`) preloaded once into each
+    worker process's tuner, so rebuilt pools and fresh runs skip the
+    per-shape trial phase.
     """
     policy = policy or FailurePolicy()
     if tracer is None:
@@ -277,13 +309,15 @@ def run_parallel(
         now = time.monotonic()
         try:
             fut = pool.submit(
-                _evaluate, calculator, task.molecule, attempt, warm_start
+                _evaluate, calculator, task.molecule, attempt, warm_start,
+                gemm_cache,
             )
         except (BrokenProcessPool, RuntimeError):
             # the pool died between completions; rebuild and resubmit
             restart_pool()
             fut = pool.submit(
-                _evaluate, calculator, task.molecule, attempt, warm_start
+                _evaluate, calculator, task.molecule, attempt, warm_start,
+                gemm_cache,
             )
         deadline = (
             now + policy.task_timeout_s if policy.task_timeout_s else None

@@ -234,7 +234,8 @@ def mp2_correction_coefficients(
 
 
 def rimp2_gradient(res: SCFResult, return_intermediates: bool = False,
-                   c_os: float = 1.0, c_ss: float = 1.0):
+                   c_os: float = 1.0, c_ss: float = 1.0,
+                   int_screen: float = 0.0, workspace=None):
     """Analytic gradient of the RI-HF + RI-MP2 total energy.
 
     The paper's synergistic formulation: HF and MP2 coefficient tensors
@@ -246,6 +247,10 @@ def rimp2_gradient(res: SCFResult, return_intermediates: bool = False,
         res: converged RI-HF result (``rhf(..., ri=True)``).
         return_intermediates: return `MP2GradientResult` instead of the
             bare array.
+        int_screen: Schwarz screening threshold for the three-center
+            derivative contraction (0 disables).
+        workspace: optional `repro.integrals.IntegralWorkspace` serving
+            cached pair tables and bound tables.
 
     Returns:
         ``(natoms, 3)`` gradient in Hartree/Bohr (or the result object).
@@ -259,10 +264,13 @@ def rimp2_gradient(res: SCFResult, return_intermediates: bool = False,
     eps_o = res.eps[: res.nocc]
     W_hf = 2.0 * gemm(res.C_occ * eps_o[None, :], res.C_occ.T)
     grad = mol.nuclear_repulsion_gradient()
-    grad += contract_hcore_deriv(basis, mol, res.D + cc.Pc_ao)
-    grad += contract_eri3c_deriv(basis, aux, Z3c_hf + cc.Z3c, natoms)
-    grad += contract_eri2c_deriv(aux, zeta_hf + cc.zeta, natoms)
-    grad += contract_overlap_deriv(basis, cc.SW_ao - W_hf)
+    grad += contract_hcore_deriv(basis, mol, res.D + cc.Pc_ao, workspace)
+    grad += contract_eri3c_deriv(
+        basis, aux, Z3c_hf + cc.Z3c, natoms,
+        screen=int_screen, workspace=workspace,
+    )
+    grad += contract_eri2c_deriv(aux, zeta_hf + cc.zeta, natoms, workspace)
+    grad += contract_overlap_deriv(basis, cc.SW_ao - W_hf, workspace)
     if return_intermediates:
         return MP2GradientResult(
             gradient=grad, e_corr=cc.e_corr, Pc_mo=cc.Pc_mo, z=cc.z,

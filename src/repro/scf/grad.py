@@ -40,18 +40,19 @@ def _energy_weighted_density(res: SCFResult) -> np.ndarray:
     return 2.0 * gemm(Co * eps_o[None, :], Co.T)
 
 
-def rhf_gradient_conventional(res: SCFResult) -> np.ndarray:
+def rhf_gradient_conventional(res: SCFResult, workspace=None) -> np.ndarray:
     """Analytic gradient of a conventional (four-center) RHF energy.
 
-    Returns ``(natoms, 3)`` in Hartree/Bohr.
+    Returns ``(natoms, 3)`` in Hartree/Bohr. ``workspace`` serves cached
+    pair tables plus the Schwarz/Dmax screening tables.
     """
     mol = res.mol
     natoms = mol.natoms
     g = mol.nuclear_repulsion_gradient()
-    g += contract_hcore_deriv(res.basis, mol, res.D)
-    g += contract_eri4c_deriv_hf(res.basis, res.D, natoms)
+    g += contract_hcore_deriv(res.basis, mol, res.D, workspace)
+    g += contract_eri4c_deriv_hf(res.basis, res.D, natoms, workspace=workspace)
     W = _energy_weighted_density(res)
-    g -= contract_overlap_deriv(res.basis, W)
+    g -= contract_overlap_deriv(res.basis, W, workspace)
     return g
 
 
@@ -82,22 +83,33 @@ def ri_twoelectron_coefficients(
     return Z3c, zeta
 
 
-def rhf_gradient_ri(res: SCFResult) -> np.ndarray:
-    """Analytic gradient of an RI-HF energy (no four-center derivatives)."""
+def rhf_gradient_ri(
+    res: SCFResult, int_screen: float = 0.0, workspace=None
+) -> np.ndarray:
+    """Analytic gradient of an RI-HF energy (no four-center derivatives).
+
+    ``int_screen``/``workspace`` enable Schwarz screening and cross-call
+    caching in the three-center derivative driver.
+    """
     mol = res.mol
     natoms = mol.natoms
     g = mol.nuclear_repulsion_gradient()
-    g += contract_hcore_deriv(res.basis, mol, res.D)
+    g += contract_hcore_deriv(res.basis, mol, res.D, workspace)
     Z3c, zeta = ri_twoelectron_coefficients(res)
-    g += contract_eri3c_deriv(res.basis, res.aux, Z3c, natoms)
-    g += contract_eri2c_deriv(res.aux, zeta, natoms)
+    g += contract_eri3c_deriv(
+        res.basis, res.aux, Z3c, natoms,
+        screen=int_screen, workspace=workspace,
+    )
+    g += contract_eri2c_deriv(res.aux, zeta, natoms, workspace)
     W = _energy_weighted_density(res)
-    g -= contract_overlap_deriv(res.basis, W)
+    g -= contract_overlap_deriv(res.basis, W, workspace)
     return g
 
 
-def rhf_gradient(res: SCFResult) -> np.ndarray:
+def rhf_gradient(
+    res: SCFResult, int_screen: float = 0.0, workspace=None
+) -> np.ndarray:
     """Dispatch on how the SCF was solved."""
     if res.method == "ri-rhf":
-        return rhf_gradient_ri(res)
-    return rhf_gradient_conventional(res)
+        return rhf_gradient_ri(res, int_screen=int_screen, workspace=workspace)
+    return rhf_gradient_conventional(res, workspace=workspace)

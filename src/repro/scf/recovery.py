@@ -122,6 +122,11 @@ def rhf_with_recovery(
             RecoveryStage(s.name, {**dict(s.overrides), "dm0": None})
             for s in ladder
         )
+    # every rung re-solves the *same* molecule/basis: share one solve
+    # memo so S, the core Hamiltonian, and the RI tensors (plus their
+    # hoisted Fock layouts) are built exactly once per cascade instead
+    # of once per attempt
+    kwargs.setdefault("solve_memo", {})
     try:
         return rhf(mol, basis, **kwargs)
     except (SCFConvergenceError, NumericalDivergenceError) as err:

@@ -92,34 +92,65 @@ def _fock_conventional(h: np.ndarray, ERI: np.ndarray, D: np.ndarray) -> np.ndar
     return h + J - 0.5 * K
 
 
-def _fock_ri(h: np.ndarray, B: np.ndarray, D: np.ndarray) -> np.ndarray:
+@dataclass
+class RIFockLayout:
+    """Iteration-invariant memory layouts of the RI fit tensor.
+
+    `_fock_ri` needs ``B`` in three layouts — ``(n*n, naux)`` for the
+    Coulomb GEMMs and two ``(naux*n, n)`` transposes for the exchange
+    GEMMs. Only the density changes between SCF iterations, so these are
+    materialized once per solve (and shared across recovery rungs via
+    the solve memo) instead of re-copied every iteration.
+    """
+
+    B: np.ndarray  # (nbf, nbf, naux), J^{-1/2} folded
+    Bf: np.ndarray  # (n*n, naux) view
+    Bt: np.ndarray  # (naux*n, n): B.transpose(2, 0, 1), contiguous
+    B2: np.ndarray  # (naux*n, n): B.transpose(2, 1, 0), contiguous
+
+    @classmethod
+    def from_tensor(cls, B: np.ndarray) -> "RIFockLayout":
+        n, _, naux = B.shape
+        return cls(
+            B=B,
+            Bf=B.reshape(n * n, naux),
+            Bt=np.ascontiguousarray(B.transpose(2, 0, 1)).reshape(naux * n, n),
+            B2=np.ascontiguousarray(B.transpose(2, 1, 0)).reshape(naux * n, n),
+        )
+
+
+def _fock_ri(h: np.ndarray, lay: RIFockLayout, D: np.ndarray) -> np.ndarray:
     """RI Fock build, Eq. (8): pure GEMM sequence.
 
-    ``B`` is ``(nbf, nbf, naux)``. Coulomb: fit coefficients
+    ``lay`` holds the fit tensor ``B`` (``(nbf, nbf, naux)``) plus its
+    hoisted contraction layouts. Coulomb: fit coefficients
     ``gamma_P = sum_{ls} B_{ls}^P D_{ls}`` then
     ``J_{mn} = sum_P B_{mn}^P gamma_P``. Exchange:
     ``K_{mn} = sum_{P s} (B D)_{mn s P} ...`` via two GEMMs.
     """
-    n, _, naux = B.shape
-    Bf = B.reshape(n * n, naux)
-    gamma = gemm(Bf.T, D.reshape(n * n, 1))  # (naux, 1)
-    J = gemm(Bf, gamma).reshape(n, n)
+    n, _, naux = lay.B.shape
+    gamma = gemm(lay.Bf.T, D.reshape(n * n, 1))  # (naux, 1)
+    J = gemm(lay.Bf, gamma).reshape(n, n)
     # X[P,m,s] = sum_l B_{ml}^P D_{ls}
-    Bt = np.ascontiguousarray(B.transpose(2, 0, 1)).reshape(naux * n, n)
-    X = gemm(Bt, D).reshape(naux, n, n)
+    X = gemm(lay.Bt, D).reshape(naux, n, n)
     # K_{mn} = sum_{P,s} X[P,m,s] B[n,s,P]
     X2 = np.ascontiguousarray(X.transpose(1, 0, 2)).reshape(n, naux * n)
-    B2 = np.ascontiguousarray(B.transpose(2, 1, 0)).reshape(naux * n, n)
-    K = gemm(X2, B2)
+    K = gemm(X2, lay.B2)
     return h + J - 0.5 * K
 
 
 def build_ri_tensors(
-    basis: BasisSet, aux: BasisSet
+    basis: BasisSet, aux: BasisSet,
+    screen: float = 0.0, workspace=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Three-center fit tensor B, raw metric J, and ``J^{-1/2}``."""
-    T3 = eri3c(basis, aux)
-    J2 = eri2c(aux)
+    """Three-center fit tensor B, raw metric J, and ``J^{-1/2}``.
+
+    ``screen``/``workspace`` enable Schwarz screening and cross-call
+    caching in the underlying integral drivers (see
+    `repro.integrals.workspace`).
+    """
+    T3 = eri3c(basis, aux, screen=screen, workspace=workspace)
+    J2 = eri2c(aux, workspace=workspace)
     Jih = sym_inv_sqrt(J2)
     n = basis.nbf
     B = gemm(T3.reshape(n * n, aux.nbf), Jih).reshape(n, n, aux.nbf)
@@ -141,6 +172,9 @@ def rhf(
     damping: float = 0.0,
     diis_restart: int = 0,
     dm0: np.ndarray | None = None,
+    int_screen: float = 0.0,
+    workspace=None,
+    solve_memo: dict | None = None,
 ) -> SCFResult:
     """Solve restricted closed-shell Hartree-Fock.
 
@@ -180,6 +214,16 @@ def rhf(
             one-particle density at the cost of three GEMMs. Whether
             the warm density was actually used is reported as
             ``SCFResult.warm_started``.
+        int_screen: Schwarz screening threshold for the integral drivers
+            (0 disables screening — the exact default). See
+            `repro.integrals.workspace.DEFAULT_INT_SCREEN`.
+        workspace: optional `repro.integrals.IntegralWorkspace` serving
+            cached shell-pair tables and screening bounds across calls.
+        solve_memo: optional dict shared by repeated solves of the *same*
+            molecule/basis (the recovery cascade): geometry-fixed
+            matrices (basis, S, core h, RI tensors and Fock layouts) are
+            built once and reused by every rung instead of being rebuilt
+            from scratch per attempt.
 
     Returns:
         `SCFResult` with the converged state and reusable RI tensors.
@@ -195,12 +239,16 @@ def rhf(
         raise ValueError(f"damping must be in [0, 1), got {damping}")
     if max_iter < 1:
         raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+    memo = solve_memo if solve_memo is not None else {}
     if isinstance(basis, BasisSet):
         bs = basis
         basis_name = "custom"
+    elif "bs" in memo:
+        bs = memo["bs"]
+        basis_name = basis
     else:
         basis_name = basis
-        bs = BasisSet.build(mol, basis)
+        bs = memo["bs"] = BasisSet.build(mol, basis)
     nelec = mol.nelectrons
     if nelec % 2 != 0:
         raise ValueError(
@@ -213,8 +261,12 @@ def rhf(
     if nocc > bs.nbf:
         raise ValueError("basis too small for electron count")
 
-    S = overlap(bs)
-    h = hcore(bs, mol)
+    if "S" in memo:
+        S = memo["S"]
+        h = memo["h0"]
+    else:
+        S = memo["S"] = overlap(bs, workspace)
+        h = memo["h0"] = hcore(bs, mol, workspace)
     if h_extra is not None:
         h = h + h_extra
         if not np.all(np.isfinite(h)):
@@ -224,15 +276,26 @@ def rhf(
             )
     e_nuc = mol.nuclear_repulsion()
 
-    B = J2 = Jih = ERI = None
+    B = J2 = Jih = ERI = lay = None
     if ri:
-        if aux is None:
-            if basis_name == "custom":
-                raise ValueError("custom basis requires an explicit aux basis")
-            aux = auto_auxiliary(mol, basis_name)
-        B, J2, Jih = build_ri_tensors(bs, aux)
+        if "ri" in memo:
+            B, J2, Jih, aux, lay = memo["ri"]
+        else:
+            if aux is None:
+                if basis_name == "custom":
+                    raise ValueError(
+                        "custom basis requires an explicit aux basis"
+                    )
+                aux = auto_auxiliary(mol, basis_name)
+            B, J2, Jih = build_ri_tensors(
+                bs, aux, screen=int_screen, workspace=workspace
+            )
+            lay = RIFockLayout.from_tensor(B)
+            memo["ri"] = (B, J2, Jih, aux, lay)
+    elif "eri" in memo:
+        ERI = memo["eri"]
     else:
-        ERI = eri4c(bs)
+        ERI = memo["eri"] = eri4c(bs)
 
     X = sym_inv_sqrt(S)
     D = None
@@ -271,7 +334,7 @@ def rhf(
     energy = np.inf
     converged = False
     for it in range(1, max_iter + 1):
-        F = _fock_ri(h, B, D) if ri else _fock_conventional(h, ERI, D)
+        F = _fock_ri(h, lay, D) if ri else _fock_conventional(h, ERI, D)
         e_elec = 0.5 * float(np.sum(D * (h + F)))
         energy = e_elec + e_nuc
         if not np.isfinite(energy) or not np.all(np.isfinite(F)):

@@ -119,6 +119,20 @@ class Tracer:
     # ------------------------------------------------------------------
     # summaries
     # ------------------------------------------------------------------
+    def instants(self, name: str) -> list[dict]:
+        """The arg dicts of every instant named ``name``, in order.
+
+        Complements `aggregate_instants` when the individual events
+        matter — e.g. pulling the per-call ``neglected_bound`` series
+        out of ``int.screen`` events to check the screening error budget
+        against a tolerance, where only the sum would hide one bad call.
+        """
+        return [
+            dict(ev.get("args", {}))
+            for ev in self.events
+            if ev["ph"] == "i" and ev["name"] == name
+        ]
+
     def aggregate_instants(self, name: str) -> tuple[int, dict[str, float]]:
         """Count instants named ``name`` and sum their numeric args.
 

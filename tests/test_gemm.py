@@ -128,6 +128,60 @@ class TestAutoTuner:
         assert not tuner.best and not tuner.trials
 
 
+class TestPersistence:
+    """Winner tables survive a save/load round trip (``--gemm-cache``)."""
+
+    def _tuned(self) -> GemmAutoTuner:
+        tuner = GemmAutoTuner(trials_per_variant=1)
+        A = np.eye(6)
+        B = np.eye(6)
+        for _ in range(len(VARIANTS)):
+            tuner.gemm(A, B)
+        assert tuner.best  # the shape committed a winner
+        return tuner
+
+    def test_round_trip(self, tmp_path):
+        tuner = self._tuned()
+        path = str(tmp_path / "gemm.json")
+        tuner.save(path)
+        fresh = GemmAutoTuner()
+        assert fresh.load(path) == len(tuner.best)
+        assert fresh.best == tuner.best
+        # a preloaded shape skips its trial phase entirely
+        fresh.gemm(np.eye(6), np.eye(6))
+        assert (6, 6, 6) not in fresh.trials
+
+    def test_load_keeps_local_winners(self, tmp_path):
+        tuner = self._tuned()
+        path = str(tmp_path / "gemm.json")
+        tuner.save(path)
+        other = GemmAutoTuner()
+        key = next(iter(tuner.best))
+        local = "TT" if tuner.best[key] != "TT" else "NN"
+        other.best[key] = local
+        assert other.load(path) == 0
+        assert other.best[key] == local  # own measurement wins
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "gemm.json"
+        path.write_text('{"version": 99, "best": {}}')
+        with pytest.raises(ValueError, match="version"):
+            GemmAutoTuner().load(str(path))
+
+    def test_load_rejects_unknown_variant(self, tmp_path):
+        path = tmp_path / "gemm.json"
+        path.write_text('{"version": 1, "best": {"2x2x2": "XX"}}')
+        with pytest.raises(ValueError, match="variant"):
+            GemmAutoTuner().load(str(path))
+
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        tuner = self._tuned()
+        path = tmp_path / "gemm.json"
+        tuner.save(str(path))
+        assert path.exists()
+        assert not (tmp_path / "gemm.json.tmp").exists()
+
+
 class TestFlopCounting:
     def test_gemm_counts_2mnk(self):
         with count_flops() as c:

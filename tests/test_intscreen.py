@@ -1,0 +1,224 @@
+"""Schwarz screening and the cross-call integral workspace.
+
+Two properties under test:
+
+* **Screening is rigorously bounded** — skipping shell-pair blocks whose
+  Cauchy-Schwarz bound falls below the tolerance must leave energies
+  within 1e-9 Ha and gradients within 1e-8 Ha/Bohr of the unscreened
+  path, the accumulated neglected bound must dominate the actual error,
+  and screened gradients must still sum exactly to zero (translation
+  invariance: a skipped bra pair drops its auxiliary images too).
+* **Workspace caching is exact** — every product served from an
+  `IntegralWorkspace` is bitwise what a fresh build would produce;
+  geometry changes re-key the shell-pair entries, Schwarz bounds are
+  re-screened (or conservatively inflated) on displacement, and a
+  composition change can never hit another basis's entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basis import BasisSet, auto_auxiliary
+from repro.calculators import RIHFCalculator, RIMP2Calculator
+from repro.chem import Molecule
+from repro.frag import FragmentedSystem, build_plan, mbe_energy_gradient
+from repro.integrals import (
+    IntegralWorkspace,
+    contract_eri3c_deriv,
+    eri2c,
+    eri3c,
+    hcore,
+    overlap,
+)
+from repro.integrals.workspace import basis_composition_key
+from repro.systems import glycine_chain, water_cluster
+
+#: acceptance tolerances from the issue: screened results must stay
+#: within these of the unscreened path at the default tolerance
+ENERGY_TOL_HA = 1.0e-9
+GRAD_TOL = 1.0e-8
+
+BIG = 1.0e9  # cutoff that includes every polymer
+
+
+@pytest.fixture(scope="module")
+def water_dimer() -> Molecule:
+    return water_cluster(2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def glycine() -> Molecule:
+    return glycine_chain(1)
+
+
+def _exact_calc(cls, **kw):
+    """A calculator with caching and screening both fully off."""
+    return cls(workspace=IntegralWorkspace(enabled=False), int_screen=0.0,
+               **kw)
+
+
+class TestScreeningCorrectness:
+    def test_eri3c_error_within_neglected_bound(self, water_dimer):
+        bs = BasisSet.build(water_dimer, "sto-3g")
+        aux = auto_auxiliary(water_dimer)
+        exact = eri3c(bs, aux)
+        ws = IntegralWorkspace()
+        screened = eri3c(bs, aux, screen=1.0e-8, workspace=ws)
+        assert ws.pairs_skipped > 0, "tolerance chosen to skip something"
+        err = float(np.abs(screened - exact).sum())
+        assert err <= ws.neglected_bound * (1 + 1e-10)
+        assert float(np.abs(screened - exact).max()) < 1e-8
+
+    def test_screened_deriv_translation_invariance(self, water_dimer):
+        bs = BasisSet.build(water_dimer, "sto-3g")
+        aux = auto_auxiliary(water_dimer)
+        rng = np.random.default_rng(5)
+        Z = rng.standard_normal((bs.nbf, bs.nbf, aux.nbf))
+        Z = Z + Z.transpose(1, 0, 2)
+        ws = IntegralWorkspace()
+        g = contract_eri3c_deriv(bs, aux, Z, water_dimer.natoms,
+                                 screen=1.0e-6, workspace=ws)
+        assert ws.pairs_skipped > 0
+        # a skipped bra pair removes its aux-center images too, so the
+        # screened gradient still sums exactly to zero
+        np.testing.assert_allclose(g.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_rihf_water_dimer(self, water_dimer):
+        e0, g0 = _exact_calc(RIHFCalculator).energy_gradient(water_dimer)
+        calc = RIHFCalculator(workspace=IntegralWorkspace(),
+                              int_screen=1.0e-12)
+        e1, g1 = calc.energy_gradient(water_dimer)
+        assert abs(e1 - e0) <= ENERGY_TOL_HA
+        np.testing.assert_allclose(g1, g0, atol=GRAD_TOL)
+
+    def test_rimp2_glycine_monomer(self, glycine):
+        e0, g0 = _exact_calc(RIMP2Calculator).energy_gradient(glycine)
+        calc = RIMP2Calculator(workspace=IntegralWorkspace(),
+                               int_screen=1.0e-12)
+        e1, g1 = calc.energy_gradient(glycine)
+        assert abs(e1 - e0) <= ENERGY_TOL_HA
+        np.testing.assert_allclose(g1, g0, atol=GRAD_TOL)
+
+    def test_mbe3_assembled_gradient(self):
+        """Screening composes through MBE assembly: the full inclusion-
+        exclusion sum over screened fragment gradients stays within the
+        per-fragment tolerances of the exact-assembled result."""
+        mol = water_cluster(3, seed=11)
+        fs = FragmentedSystem.by_components(mol)
+        plan = build_plan(fs, BIG, BIG, order=3)
+        e0, g0 = mbe_energy_gradient(fs, plan, _exact_calc(RIHFCalculator))
+        ws = IntegralWorkspace()
+        calc = RIHFCalculator(workspace=ws, int_screen=1.0e-12)
+        e1, g1 = mbe_energy_gradient(fs, plan, calc)
+        assert abs(e1 - e0) <= 10 * ENERGY_TOL_HA  # 7 fragments assemble
+        np.testing.assert_allclose(g1, g0, atol=10 * GRAD_TOL)
+        assert ws.hits > 0  # fragments share monomer shell pairs
+
+
+class TestWorkspaceExactness:
+    """Served-from-cache arrays must be bitwise identical to fresh builds."""
+
+    def test_integrals_bitwise(self, water_dimer):
+        bs = BasisSet.build(water_dimer, "sto-3g")
+        aux = auto_auxiliary(water_dimer)
+        ws = IntegralWorkspace()
+        for _ in range(2):  # second pass is served from the cache
+            assert np.array_equal(overlap(bs, workspace=ws), overlap(bs))
+            assert np.array_equal(hcore(bs, water_dimer, workspace=ws),
+                                  hcore(bs, water_dimer))
+            assert np.array_equal(eri3c(bs, aux, workspace=ws),
+                                  eri3c(bs, aux))
+            assert np.array_equal(eri2c(aux, workspace=ws), eri2c(aux))
+        assert ws.hits > 0
+
+    def test_repeat_energy_bitwise(self, water_dimer):
+        calc = RIHFCalculator(workspace=IntegralWorkspace(), int_screen=0.0)
+        e1, g1 = calc.energy_gradient(water_dimer)
+        e2, g2 = calc.energy_gradient(water_dimer)
+        assert e1 == e2
+        assert np.array_equal(g1, g2)
+
+
+class TestWorkspaceInvalidation:
+    def test_pair_entries_rekey_on_geometry(self, water_dimer):
+        """Moving the geometry misses the pair cache (keys carry exact
+        centers) and the fresh entries reproduce the exact integrals."""
+        bs1 = BasisSet.build(water_dimer, "sto-3g")
+        moved = water_dimer.with_coords(water_dimer.coords + 0.05)
+        bs2 = BasisSet.build(moved, "sto-3g")
+        ws = IntegralWorkspace()
+        assert np.array_equal(overlap(bs1, workspace=ws), overlap(bs1))
+        misses_before = ws.misses
+        assert np.array_equal(overlap(bs2, workspace=ws), overlap(bs2))
+        assert ws.misses > misses_before
+
+    def test_schwarz_rebuilds_beyond_displacement(self, water_dimer):
+        bs1 = BasisSet.build(water_dimer, "sto-3g")
+        ws = IntegralWorkspace(displacement_tol=0.25)
+        Q1 = ws.schwarz_bounds(bs1)
+        assert ws.bound_rebuilds == 1
+        # beyond the tolerance: recomputed, not inflated
+        far = water_dimer.with_coords(water_dimer.coords + 1.0)
+        bs2 = BasisSet.build(far, "sto-3g")
+        Q2 = ws.schwarz_bounds(bs2)
+        assert ws.bound_rebuilds == 2
+        assert ws.stale_serves == 0
+        from repro.integrals import schwarz_pair_bounds
+
+        assert np.array_equal(Q2, schwarz_pair_bounds(bs2))
+        assert Q1.shape == Q2.shape
+
+    def test_schwarz_stale_serve_within_displacement(self, water_dimer):
+        bs1 = BasisSet.build(water_dimer, "sto-3g")
+        ws = IntegralWorkspace(displacement_tol=0.25, stale_safety=16.0)
+        Q1 = ws.schwarz_bounds(bs1)
+        near = water_dimer.with_coords(water_dimer.coords + 0.01)
+        bs2 = BasisSet.build(near, "sto-3g")
+        Q2 = ws.schwarz_bounds(bs2)
+        assert ws.stale_serves == 1
+        assert ws.bound_rebuilds == 1
+        # served stale bounds are conservatively inflated
+        np.testing.assert_allclose(Q2, Q1 * 16.0)
+        # unchanged geometry serves the exact cached table
+        Q3 = ws.schwarz_bounds(bs1)
+        assert np.array_equal(Q3, Q1)
+
+    def test_displacement_tol_zero_pins_decisions(self, water_dimer):
+        """Deterministic mode: any movement recomputes the bounds, so
+        screening decisions are a pure function of the current geometry."""
+        bs1 = BasisSet.build(water_dimer, "sto-3g")
+        ws = IntegralWorkspace(displacement_tol=0.0)
+        ws.schwarz_bounds(bs1)
+        tiny = water_dimer.with_coords(water_dimer.coords + 1e-9)
+        ws.schwarz_bounds(BasisSet.build(tiny, "sto-3g"))
+        assert ws.bound_rebuilds == 2
+        assert ws.stale_serves == 0
+
+    def test_composition_change_is_a_new_key(self, water_dimer):
+        bs_w = BasisSet.build(water_dimer, "sto-3g")
+        gly = glycine_chain(1)
+        bs_g = BasisSet.build(gly, "sto-3g")
+        assert basis_composition_key(bs_w) != basis_composition_key(bs_g)
+        ws = IntegralWorkspace()
+        ws.schwarz_bounds(bs_w)
+        ws.schwarz_bounds(bs_g)
+        assert ws.bound_rebuilds == 2  # no cross-composition hit
+
+    def test_lru_eviction_preserves_exactness(self, water_dimer):
+        bs = BasisSet.build(water_dimer, "sto-3g")
+        ws = IntegralWorkspace(max_bytes=20_000)  # far below working set
+        assert np.array_equal(overlap(bs, workspace=ws), overlap(bs))
+        assert np.array_equal(hcore(bs, water_dimer, workspace=ws),
+                              hcore(bs, water_dimer))
+        assert ws.evictions > 0
+        assert ws.nbytes <= 20_000 or len(ws) == 1
+
+    def test_disabled_workspace_stores_nothing(self, water_dimer):
+        bs = BasisSet.build(water_dimer, "sto-3g")
+        ws = IntegralWorkspace(enabled=False)
+        assert np.array_equal(overlap(bs, workspace=ws), overlap(bs))
+        assert len(ws) == 0
+        assert ws.hits == 0
+        assert ws.misses > 0
