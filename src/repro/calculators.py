@@ -25,7 +25,11 @@ from typing import Protocol
 import numpy as np
 
 from .chem.molecule import Molecule
-from .integrals.workspace import IntegralWorkspace, get_workspace
+from .integrals.workspace import (
+    IntegralWorkspace,
+    get_workspace,
+    payload_nbytes,
+)
 from .mp2.mp2 import mp2_ri
 from .mp2.rimp2_grad import rimp2_gradient
 from .numerics import ensure_finite
@@ -165,7 +169,9 @@ class GuessCache:
             self._nbytes -= entry.nbytes
         entry.history.append(D)
         del entry.history[:-self.history]
-        entry.nbytes = sum(int(d.nbytes) for d in entry.history)
+        # actual bytes held alive (deduplicates repeated arrays and
+        # counts view bases), so the LRU budget tracks real memory
+        entry.nbytes = payload_nbytes(entry.history)
         self._entries[key] = entry
         self._nbytes += entry.nbytes
         while self._nbytes > self.max_bytes and len(self._entries) > 1:
@@ -350,13 +356,18 @@ class RIHFCalculator:
 
 @dataclass
 class ConventionalHFCalculator:
-    """Four-center HF baseline (what RI-HF replaces, Fig. 3)."""
+    """Four-center HF baseline (what RI-HF replaces, Fig. 3).
+
+    ``int_screen=None`` keeps the four-center derivative driver's
+    default threshold (1e-11); ``0.0`` requests the exact path, which
+    also bypasses the Schwarz/Dmax table builds entirely.
+    """
 
     basis: str = "sto-3g"
     recover: bool = True
     guess_cache: GuessCache | None = None
     tracer: object = None
-    int_screen: float = 0.0
+    int_screen: float | None = None
     workspace: IntegralWorkspace | None = None
 
     def energy_gradient(self, mol: Molecule) -> tuple[float, np.ndarray]:
@@ -365,7 +376,9 @@ class ConventionalHFCalculator:
         res = _solve_scf(mol, self.basis, self.recover, tracer=self.tracer,
                          guess_cache=self.guess_cache, ri=False,
                          workspace=ws)
-        grad = rhf_gradient_conventional(res, workspace=ws)
+        grad = rhf_gradient_conventional(
+            res, workspace=ws, int_screen=self.int_screen
+        )
         ensure_finite(
             f"HF on {mol.natoms}-atom fragment",
             energy=res.energy, gradient=grad,

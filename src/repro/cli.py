@@ -45,6 +45,19 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                         "neglected bound is reported via the tracer. "
                         "0 disables screening (exact integrals) "
                         f"[default {DEFAULT_INT_SCREEN:g}]")
+    p.add_argument("--backend", default=None,
+                   choices=["numpy", "jax", "cupy"],
+                   help="array backend for the batched integral kernels "
+                        "(jax/cupy must be importable; exits with an "
+                        "error otherwise) [default: REPRO_BACKEND env "
+                        "var, else numpy]")
+    p.add_argument("--int-kernels", default=None,
+                   choices=["batched", "loop"],
+                   help="integral kernel mode: 'batched' evaluates whole "
+                        "shell-pair classes per array-kernel call, 'loop' "
+                        "is the per-pair reference implementation "
+                        "[default: REPRO_INT_KERNELS env var, else "
+                        "batched]")
 
 
 def cmd_scf(args) -> int:
@@ -382,10 +395,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _apply_runtime_options(args) -> None:
+    """Apply global backend/kernel-mode selections before dispatch.
+
+    Raises ``SystemExit`` with a readable message when the requested
+    backend's package is not importable.
+    """
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        from .backend import BackendUnavailableError, set_default_backend
+
+        try:
+            set_default_backend(backend)
+        except BackendUnavailableError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+    mode = getattr(args, "int_kernels", None)
+    if mode is not None:
+        from .integrals import set_kernel_mode
+
+        set_kernel_mode(mode)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _apply_runtime_options(args)
     return args.func(args)
 
 

@@ -3,8 +3,14 @@
 From-scratch McMurchie-Davidson implementation: overlap, kinetic,
 nuclear attraction, two-/three-/four-center electron repulsion
 integrals, and analytic first derivatives of all of them.
+
+Two kernel modes sit behind every public driver (`repro.integrals.batch`):
+the default *batched* mode evaluates whole shell-pair classes per numpy
+(or JAX/CuPy) kernel call, and the *loop* mode is the per-pair reference
+it is validated against.
 """
 
+from .batch import kernel_mode, kernels, set_kernel_mode
 from .boys import boys, boys_array
 from .eri import (
     aux_function_bounds,
@@ -54,6 +60,8 @@ __all__ = [
     "eri4c",
     "get_workspace",
     "hcore",
+    "kernel_mode",
+    "kernels",
     "kinetic",
     "ncart",
     "nuclear",
@@ -61,4 +69,5 @@ __all__ = [
     "overlap_deriv",
     "r_table",
     "schwarz_pair_bounds",
+    "set_kernel_mode",
 ]

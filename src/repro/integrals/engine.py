@@ -43,13 +43,16 @@ def e_tables_batch(
 
     Args:
         imax, jmax: maximum powers (including any derivative headroom).
-        AB: 3-vector ``A - B`` (same for every primitive pair).
+        AB: separation ``A - B``; either a 3-vector shared by every
+            primitive pair, or per-pair separations of shape ``(n, 3)``
+            (the shell-class kernels batch across shell pairs).
         a, b: exponent arrays of shape ``(n,)``. ``b`` may be all zeros
             for single-Gaussian (auxiliary) expansions.
 
     Returns:
         ``E`` of shape ``(n, 3, imax+1, jmax+1, imax+jmax+1)``.
     """
+    AB = np.asarray(AB, dtype=float)
     n = a.shape[0]
     p = a + b
     q = a * b / p
@@ -57,7 +60,10 @@ def e_tables_batch(
     E = np.zeros((n, 3, imax + 1, jmax + 1, tmax + 1))
     inv2p = 1.0 / (2.0 * p)
     for dim in range(3):
-        Q = float(AB[dim])
+        # Scalar separation multiplies through unchanged; the per-pair
+        # variant runs the same IEEE ops elementwise, so shared-AB
+        # results are bitwise independent of which form the caller used.
+        Q = float(AB[dim]) if AB.ndim == 1 else AB[:, dim]
         Ed = E[:, dim]
         Ed[:, 0, 0, 0] = np.exp(-q * Q * Q)
         Xpa = -(b / p) * Q
@@ -84,6 +90,12 @@ def e_tables_batch(
     return E
 
 
+#: cap on the Hermite-Coulomb recursion scratch tensor: empirically the
+#: sweet spot across box sizes — larger falls out of last-level cache,
+#: smaller wastes the fixed per-call recursion overhead
+_R_SCRATCH_BYTES = 16 << 20
+
+
 def r_tables_batch(
     tmax: int, umax: int, vmax: int, p: np.ndarray, PQ: np.ndarray
 ) -> np.ndarray:
@@ -96,15 +108,32 @@ def r_tables_batch(
 
     Returns:
         ``R`` of shape ``(n, tmax+1, umax+1, vmax+1)``.
+
+    The scratch tensor keeps the batch axis *last* so every slice the
+    downward recursion reads or writes is contiguous, and batches are
+    split so the scratch stays cache-resident. Both are pure layout
+    choices: every operation is elementwise along the batch axis, so
+    the returned values are bitwise independent of them.
     """
     n = p.shape[0]
     nmax = tmax + umax + vmax
+    per_item = (nmax + 1) * (tmax + 1) * (umax + 1) * (vmax + 1) * 8
+    chunk = max(64, _R_SCRATCH_BYTES // per_item)
+    if n > chunk:
+        out = np.empty((n, tmax + 1, umax + 1, vmax + 1))
+        for lo in range(0, n, chunk):
+            hi = lo + chunk
+            out[lo:hi] = r_tables_batch(tmax, umax, vmax, p[lo:hi], PQ[lo:hi])
+        return out
     T = p * np.einsum("ni,ni->n", PQ, PQ)
     F = boys_array(nmax, T)  # (n, nmax+1)
-    Rn = np.zeros((nmax + 1, n, tmax + 1, umax + 1, vmax + 1))
+    # empty, not zeros: level m of the recursion only ever reads entries
+    # written at level m+1, and every entry the caller sees (level 0) is
+    # written unconditionally
+    Rn = np.empty((nmax + 1, tmax + 1, umax + 1, vmax + 1, n))
     scale = np.ones(n)
     for m in range(nmax + 1):
-        Rn[m, :, 0, 0, 0] = scale * F[:, m]
+        Rn[m, 0, 0, 0] = scale * F[:, m]
         scale = scale * (-2.0 * p)
     x = PQ[:, 0][None, :]
     y = PQ[:, 1][None, :]
@@ -117,19 +146,19 @@ def r_tables_batch(
                 if v < 0 or v > vmax:
                     continue
                 if t > 0:
-                    val = x * Rn[1 : hi + 1, :, t - 1, u, v]
+                    val = x * Rn[1 : hi + 1, t - 1, u, v]
                     if t > 1:
-                        val = val + (t - 1) * Rn[1 : hi + 1, :, t - 2, u, v]
+                        val = val + (t - 1) * Rn[1 : hi + 1, t - 2, u, v]
                 elif u > 0:
-                    val = y * Rn[1 : hi + 1, :, t, u - 1, v]
+                    val = y * Rn[1 : hi + 1, t, u - 1, v]
                     if u > 1:
-                        val = val + (u - 1) * Rn[1 : hi + 1, :, t, u - 2, v]
+                        val = val + (u - 1) * Rn[1 : hi + 1, t, u - 2, v]
                 else:
-                    val = z * Rn[1 : hi + 1, :, t, u, v - 1]
+                    val = z * Rn[1 : hi + 1, t, u, v - 1]
                     if v > 1:
-                        val = val + (v - 1) * Rn[1 : hi + 1, :, t, u, v - 2]
-                Rn[0:hi, :, t, u, v] = val
-    return Rn[0]
+                        val = val + (v - 1) * Rn[1 : hi + 1, t, u, v - 2]
+                Rn[0:hi, t, u, v] = val
+    return np.ascontiguousarray(Rn[0].transpose(3, 0, 1, 2))
 
 
 @dataclass
@@ -185,6 +214,21 @@ def single_data(sh: Shell, di: int = 0) -> PairData:
     imax = sh.l + di
     E = e_tables_batch(imax, 0, np.zeros(3), a, b)
     return PairData(sh, sh, a, b, cc, p, P, E, imax, 0)
+
+
+def canonical_shell_pairs(basis) -> list[tuple[int, int]]:
+    """THE canonical bra shell-pair enumeration: ``(i, j)`` with
+    ``i <= j``, lexicographic.
+
+    Every pair-driven driver (Schwarz, `eri3c`, the 3c/4c derivative
+    contractions, the shell-class partition) must enumerate pairs
+    through this one function: screening bookkeeping accumulates
+    neglected bounds *in pair order*, so two drivers disagreeing on the
+    order (or worse, the set) of pairs would silently desynchronize the
+    accounting from the blocks actually skipped.
+    """
+    nsh = basis.nshells
+    return [(i, j) for i in range(nsh) for j in range(i, nsh)]
 
 
 @lru_cache(maxsize=None)

@@ -32,6 +32,7 @@ from .engine import (
     AuxGroup,
     PairData,
     aux_group_data,
+    canonical_shell_pairs,
     comp_arrays,
     hermite_box,
     pair_data,
@@ -256,6 +257,27 @@ def eri3c(
 ) -> np.ndarray:
     """Three-center integrals ``(mu nu | P)``, shape ``(nbf, nbf, naux)``.
 
+    Dispatches on the active kernel mode (`repro.integrals.batch`): the
+    default batched implementation evaluates whole shell-pair classes at
+    once and is bitwise-identical to the reference loop given the same
+    Schwarz table. See `eri3c_loop` for the screening semantics shared
+    by both implementations.
+    """
+    from .batch import eri3c_batched, use_batched
+
+    if use_batched():
+        return eri3c_batched(basis, aux, screen=screen, workspace=workspace)
+    return eri3c_loop(basis, aux, screen=screen, workspace=workspace)
+
+
+def eri3c_loop(
+    basis: BasisSet,
+    aux: BasisSet,
+    screen: float = 0.0,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
+    """Reference per-pair implementation of `eri3c`.
+
     Auxiliary shells are processed in per-angular-momentum batches: the
     whole fitting basis acts as a handful of 'super-shells', so Python
     overhead is amortized over the full auxiliary dimension.
@@ -281,37 +303,37 @@ def eri3c(
     nskip = 0
     npairs = 0
     neglected = 0.0
-    for ish, sha in enumerate(basis.shells):
+    for ish, jsh in canonical_shell_pairs(basis):
+        sha = basis.shells[ish]
+        shb = basis.shells[jsh]
         oa = basis.offsets[ish]
         ca = comp_arrays(sha.l)
-        for jsh in range(ish, basis.nshells):
-            shb = basis.shells[jsh]
-            npairs += 1
-            if Q is not None and Q[ish, jsh] * qaux_max <= screen:
-                nskip += 1
-                nfab = sha.nfunc * shb.nfunc * (1 if ish == jsh else 2)
-                neglected += Q[ish, jsh] * qaux_sum * nfab
-                continue
-            ob = basis.offsets[jsh]
-            cb = comp_arrays(shb.l)
-            bra = _bra_pair(workspace, sha, shb, 0, 0)
-            L = sha.l + shb.l
-            tbox_b = (L, L, L)
-            Wb = w_tensor(bra, ca, cb, tbox_b).reshape(bra.nprim, -1, (L + 1) ** 3)
-            norms_ab = np.outer(sha.comp_norms, shb.comp_norms)
-            for grp in groups:
-                blk = _group_kernel(bra, grp, Wb, tbox_b)  # (m, X, C)
-                C = blk.shape[2]
-                blk = blk.reshape(-1, sha.nfunc, shb.nfunc, C)
-                blk = blk * norms_ab[None, :, :, None] * grp.comp_norms[None, None, None, :]
-                func_idx = grp.offsets[:, None] + np.arange(C)[None, :]
-                out[oa : oa + sha.nfunc, ob : ob + shb.nfunc, func_idx] = blk.transpose(
-                    1, 2, 0, 3
+        npairs += 1
+        if Q is not None and Q[ish, jsh] * qaux_max <= screen:
+            nskip += 1
+            nfab = sha.nfunc * shb.nfunc * (1 if ish == jsh else 2)
+            neglected += Q[ish, jsh] * qaux_sum * nfab
+            continue
+        ob = basis.offsets[jsh]
+        cb = comp_arrays(shb.l)
+        bra = _bra_pair(workspace, sha, shb, 0, 0)
+        L = sha.l + shb.l
+        tbox_b = (L, L, L)
+        Wb = w_tensor(bra, ca, cb, tbox_b).reshape(bra.nprim, -1, (L + 1) ** 3)
+        norms_ab = np.outer(sha.comp_norms, shb.comp_norms)
+        for grp in groups:
+            blk = _group_kernel(bra, grp, Wb, tbox_b)  # (m, X, C)
+            C = blk.shape[2]
+            blk = blk.reshape(-1, sha.nfunc, shb.nfunc, C)
+            blk = blk * norms_ab[None, :, :, None] * grp.comp_norms[None, None, None, :]
+            func_idx = grp.offsets[:, None] + np.arange(C)[None, :]
+            out[oa : oa + sha.nfunc, ob : ob + shb.nfunc, func_idx] = blk.transpose(
+                1, 2, 0, 3
+            )
+            if ish != jsh:
+                out[ob : ob + shb.nfunc, oa : oa + sha.nfunc, func_idx] = (
+                    blk.transpose(2, 1, 0, 3)
                 )
-                if ish != jsh:
-                    out[ob : ob + shb.nfunc, oa : oa + sha.nfunc, func_idx] = (
-                        blk.transpose(2, 1, 0, 3)
-                    )
     if workspace is not None and screen > 0.0:
         workspace.record_screen("eri3c", npairs, nskip, neglected)
     return out
@@ -329,9 +351,7 @@ def eri4c(basis: BasisSet) -> np.ndarray:
     shells = basis.shells
     offs = basis.offsets
     comps = [comp_arrays(sh.l) for sh in shells]
-    npairs: list[tuple[int, int]] = [
-        (i, j) for i in range(len(shells)) for j in range(i, len(shells))
-    ]
+    npairs = canonical_shell_pairs(basis)
     pds = {ij: pair_data(shells[ij[0]], shells[ij[1]]) for ij in npairs}
     for pi, (i, j) in enumerate(npairs):
         for i2, j2 in npairs[pi:]:
@@ -466,12 +486,51 @@ def contract_eri2c_deriv(
     return g
 
 
+def _zblk_table(basis: BasisSet, Z: np.ndarray) -> np.ndarray:
+    """Per-shell-block coefficient magnitudes ``Zblk[i, j] = max |Z|``
+    over the (i, j) function block (all aux). Shared by both kernel
+    modes so screening decisions agree exactly."""
+    offs = basis.offsets
+    nsh = basis.nshells
+    Zabs = np.abs(Z).max(axis=2)
+    Zblk = np.empty((nsh, nsh))
+    for i, shi in enumerate(basis.shells):
+        si = slice(offs[i], offs[i] + shi.nfunc)
+        for j, shj in enumerate(basis.shells):
+            sj = slice(offs[j], offs[j] + shj.nfunc)
+            Zblk[i, j] = Zabs[si, sj].max()
+    return Zblk
+
+
 def contract_eri3c_deriv(
     basis: BasisSet, aux: BasisSet, Z: np.ndarray, natoms: int,
     screen: float = 0.0,
     workspace: IntegralWorkspace | None = None,
 ) -> np.ndarray:
     """``g = sum_{mu nu P} Z_{mu nu P} d(mu nu|P)/dR``, shape ``(natoms, 3)``.
+
+    Dispatches on the active kernel mode (`repro.integrals.batch`); the
+    batched default is bitwise-identical to `contract_eri3c_deriv_loop`
+    given the same Schwarz table. See the loop driver for screening
+    semantics.
+    """
+    from .batch import contract_eri3c_deriv_batched, use_batched
+
+    if use_batched():
+        return contract_eri3c_deriv_batched(
+            basis, aux, Z, natoms, screen=screen, workspace=workspace
+        )
+    return contract_eri3c_deriv_loop(
+        basis, aux, Z, natoms, screen=screen, workspace=workspace
+    )
+
+
+def contract_eri3c_deriv_loop(
+    basis: BasisSet, aux: BasisSet, Z: np.ndarray, natoms: int,
+    screen: float = 0.0,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
+    """Reference per-pair ``sum Z d(mu nu|P)/dR`` driver.
 
     ``Z`` has shape ``(nbf, nbf, naux)`` and need not be symmetric in
     (mu, nu). Auxiliary-center derivatives follow from translational
@@ -503,68 +562,58 @@ def contract_eri3c_deriv(
                 else aux_function_bounds(aux))
         qaux_max = float(qaux.max())
         qaux_sum = float(qaux.sum())
-        # per-shell-block coefficient magnitudes: Zblk[i, j] = max |Z|
-        # over the (i, j) function block (all aux)
-        offs = basis.offsets
-        nsh = basis.nshells
-        Zabs = np.abs(Z).max(axis=2)
-        Zblk = np.empty((nsh, nsh))
-        for i, shi in enumerate(basis.shells):
-            si = slice(offs[i], offs[i] + shi.nfunc)
-            for j, shj in enumerate(basis.shells):
-                sj = slice(offs[j], offs[j] + shj.nfunc)
-                Zblk[i, j] = Zabs[si, sj].max()
+        Zblk = _zblk_table(basis, Z)
     nskip = 0
     npairs = 0
     neglected = 0.0
-    for ish, sha in enumerate(basis.shells):
+    for ish, jsh in canonical_shell_pairs(basis):
+        sha = basis.shells[ish]
+        shb = basis.shells[jsh]
         oa = basis.offsets[ish]
         ca = comp_arrays(sha.l)
-        for jsh in range(ish, basis.nshells):
-            shb = basis.shells[jsh]
-            pair_fac = 1.0 if ish == jsh else 2.0
-            npairs += 1
-            if Q is not None and (
-                DERIV_SAFETY * Q[ish, jsh] * qaux_max * Zblk[ish, jsh]
-                <= screen
-            ):
-                nskip += 1
-                neglected += (
-                    DERIV_SAFETY * Q[ish, jsh] * Zblk[ish, jsh] * qaux_sum
-                    * sha.nfunc * shb.nfunc * pair_fac
-                )
-                continue
-            ob = basis.offsets[jsh]
-            cb = comp_arrays(shb.l)
-            bra = _bra_pair(workspace, sha, shb, 1, 1)
-            L = sha.l + shb.l + 1
-            tbox_b = (L, L, L)
-            tb_idx = hermite_box(tbox_b)
-            norms_ab = np.outer(sha.comp_norms, shb.comp_norms).ravel()
-            dWb = {}
+        pair_fac = 1.0 if ish == jsh else 2.0
+        npairs += 1
+        if Q is not None and (
+            DERIV_SAFETY * Q[ish, jsh] * qaux_max * Zblk[ish, jsh]
+            <= screen
+        ):
+            nskip += 1
+            neglected += (
+                DERIV_SAFETY * Q[ish, jsh] * Zblk[ish, jsh] * qaux_sum
+                * sha.nfunc * shb.nfunc * pair_fac
+            )
+            continue
+        ob = basis.offsets[jsh]
+        cb = comp_arrays(shb.l)
+        bra = _bra_pair(workspace, sha, shb, 1, 1)
+        L = sha.l + shb.l + 1
+        tbox_b = (L, L, L)
+        tb_idx = hermite_box(tbox_b)
+        norms_ab = np.outer(sha.comp_norms, shb.comp_norms).ravel()
+        dWb = {}
+        for axis in range(3):
+            dWb[("bra", axis)] = w_deriv(bra, ca, cb, tbox_b, "bra", axis).reshape(
+                bra.nprim, -1, tb_idx.shape[0]
+            )
+            dWb[("ket", axis)] = w_deriv(bra, ca, cb, tbox_b, "ket", axis).reshape(
+                bra.nprim, -1, tb_idx.shape[0]
+            )
+        for grp, fi in zip(groups, group_idx):
+            C = fi.shape[1]
+            m = grp.pd.nprim
+            # coefficients for this (bra pair, group): (m, X, C)
+            zg = Z[oa : oa + sha.nfunc, ob : ob + shb.nfunc, fi]
+            zg = zg.reshape(-1, m, C).transpose(1, 0, 2) * norms_ab[None, :, None]
+            zg = zg * (pair_fac * grp.comp_norms)[None, None, :]
+            M2, Wk = _group_M(bra, grp, tbox_b)
             for axis in range(3):
-                dWb[("bra", axis)] = w_deriv(bra, ca, cb, tbox_b, "bra", axis).reshape(
-                    bra.nprim, -1, tb_idx.shape[0]
-                )
-                dWb[("ket", axis)] = w_deriv(bra, ca, cb, tbox_b, "ket", axis).reshape(
-                    bra.nprim, -1, tb_idx.shape[0]
-                )
-            for grp, fi in zip(groups, group_idx):
-                C = fi.shape[1]
-                m = grp.pd.nprim
-                # coefficients for this (bra pair, group): (m, X, C)
-                zg = Z[oa : oa + sha.nfunc, ob : ob + shb.nfunc, fi]
-                zg = zg.reshape(-1, m, C).transpose(1, 0, 2) * norms_ab[None, :, None]
-                zg = zg * (pair_fac * grp.comp_norms)[None, None, :]
-                M2, Wk = _group_M(bra, grp, tbox_b)
-                for axis in range(3):
-                    dA_blk = _group_apply(M2, Wk, dWb[("bra", axis)])
-                    dB_blk = _group_apply(M2, Wk, dWb[("ket", axis)])
-                    vA = np.einsum("mxc,mxc->m", dA_blk, zg)
-                    vB = np.einsum("mxc,mxc->m", dB_blk, zg)
-                    g[sha.atom, axis] += vA.sum()
-                    g[shb.atom, axis] += vB.sum()
-                    np.subtract.at(g[:, axis], grp.atoms, vA + vB)
+                dA_blk = _group_apply(M2, Wk, dWb[("bra", axis)])
+                dB_blk = _group_apply(M2, Wk, dWb[("ket", axis)])
+                vA = np.einsum("mxc,mxc->m", dA_blk, zg)
+                vB = np.einsum("mxc,mxc->m", dB_blk, zg)
+                g[sha.atom, axis] += vA.sum()
+                g[shb.atom, axis] += vB.sum()
+                np.subtract.at(g[:, axis], grp.atoms, vA + vB)
     if workspace is not None and screen > 0.0:
         workspace.record_screen("eri3c_deriv", npairs, nskip, neglected)
     return g
@@ -581,21 +630,35 @@ def schwarz_pair_bounds(
     inside `_eri_general`'s output diagonal). ``workspace`` serves the
     pair expansion tables; cached *bound tables* live one level up in
     `IntegralWorkspace.schwarz_bounds`.
+
+    Dispatches between the batched shell-class kernels and the reference
+    per-pair loop (`repro.integrals.batch.kernel_mode`).
     """
+    from .batch import schwarz_pair_bounds_batched, use_batched
+
+    if use_batched():
+        return schwarz_pair_bounds_batched(basis, workspace=workspace)
+    return schwarz_pair_bounds_loop(basis, workspace=workspace)
+
+
+def schwarz_pair_bounds_loop(
+    basis: BasisSet, workspace: IntegralWorkspace | None = None
+) -> np.ndarray:
+    """Reference per-pair Schwarz bound driver (see `schwarz_pair_bounds`)."""
     nsh = basis.nshells
     Q = np.zeros((nsh, nsh))
-    for i, sha in enumerate(basis.shells):
+    for i, j in canonical_shell_pairs(basis):
+        sha = basis.shells[i]
+        shb = basis.shells[j]
         ca = comp_arrays(sha.l)
-        for j in range(i, nsh):
-            shb = basis.shells[j]
-            cb = comp_arrays(shb.l)
-            pd = _bra_pair(workspace, sha, shb, 0, 0)
-            blk = _eri_general(pd, pd, ca, cb, ca, cb)
-            na, nb = len(ca), len(cb)
-            diag = np.abs(
-                blk.reshape(na * nb, na * nb)[np.diag_indices(na * nb)]
-            )
-            Q[i, j] = Q[j, i] = float(np.sqrt(diag.max()))
+        cb = comp_arrays(shb.l)
+        pd = _bra_pair(workspace, sha, shb, 0, 0)
+        blk = _eri_general(pd, pd, ca, cb, ca, cb)
+        na, nb = len(ca), len(cb)
+        diag = np.abs(
+            blk.reshape(na * nb, na * nb)[np.diag_indices(na * nb)]
+        )
+        Q[i, j] = Q[j, i] = float(np.sqrt(diag.max()))
     return Q
 
 
@@ -642,7 +705,10 @@ def contract_eri4c_deriv_hf(
 
     ``workspace`` serves the Schwarz bound and per-shell-block ``Dmax``
     tables (recomputed from scratch on every call otherwise) plus the
-    pair expansion tables.
+    pair expansion tables. With ``screen <= 0`` (exact mode) the strict
+    ``< screen`` test can never skip a quartet, so neither table is
+    built at all — ``--int-screen 0`` no longer pays for (or caches)
+    Schwarz bounds it cannot use.
     """
     from .workspace import _dmax_table
 
@@ -650,18 +716,21 @@ def contract_eri4c_deriv_hf(
     shells = basis.shells
     offs = basis.offsets
     comps = [comp_arrays(sh.l) for sh in shells]
-    nsh = len(shells)
-    npairs = [(i, j) for i in range(nsh) for j in range(i, nsh)]
+    npairs = canonical_shell_pairs(basis)
     pds = {
         ij: _bra_pair(workspace, shells[ij[0]], shells[ij[1]], 1, 1)
         for ij in npairs
     }
-    if workspace is not None:
-        Q = workspace.schwarz_bounds(basis)
-        Dmax = workspace.dmax_blocks(basis, D)
+    if screen > 0.0:
+        if workspace is not None:
+            Q = workspace.schwarz_bounds(basis)
+            Dmax = workspace.dmax_blocks(basis, D)
+        else:
+            Q = schwarz_pair_bounds(basis)
+            Dmax = _dmax_table(basis, D)
     else:
-        Q = schwarz_pair_bounds(basis)
-        Dmax = _dmax_table(basis, D)
+        Q = None
+        Dmax = None
     safety = DERIV_SAFETY
     nskip = 0
     nquartets = 0
@@ -674,19 +743,20 @@ def contract_eri4c_deriv_hf(
             if atoms[0] == atoms[1] == atoms[2] == atoms[3]:
                 continue
             nquartets += 1
-            gbound = 8.0 * max(
-                Dmax[i, j] * Dmax[k, l],
-                Dmax[i, l] * Dmax[j, k],
-                Dmax[i, k] * Dmax[j, l],
-            )
-            if safety * Q[i, j] * Q[k, l] * gbound < screen:
-                nskip += 1
-                neglected += (
-                    safety * Q[i, j] * Q[k, l] * gbound
-                    * shells[i].nfunc * shells[j].nfunc
-                    * shells[k].nfunc * shells[l].nfunc
+            if Q is not None:
+                gbound = 8.0 * max(
+                    Dmax[i, j] * Dmax[k, l],
+                    Dmax[i, l] * Dmax[j, k],
+                    Dmax[i, k] * Dmax[j, l],
                 )
-                continue
+                if safety * Q[i, j] * Q[k, l] * gbound < screen:
+                    nskip += 1
+                    neglected += (
+                        safety * Q[i, j] * Q[k, l] * gbound
+                        * shells[i].nfunc * shells[j].nfunc
+                        * shells[k].nfunc * shells[l].nfunc
+                    )
+                    continue
             sk = slice(offs[k], offs[k] + shells[k].nfunc)
             sl_ = slice(offs[l], offs[l] + shells[l].nfunc)
             deg = (

@@ -48,7 +48,22 @@ def _pd(workspace, sha, shb, di: int, dj: int):
 def overlap(
     basis: BasisSet, workspace: IntegralWorkspace | None = None
 ) -> np.ndarray:
-    """Overlap matrix S, shape ``(nbf, nbf)``."""
+    """Overlap matrix S, shape ``(nbf, nbf)``.
+
+    Dispatches on the active kernel mode (`repro.integrals.batch`); the
+    batched default is bitwise-identical to `overlap_loop`.
+    """
+    from .batch import overlap_batched, use_batched
+
+    if use_batched():
+        return overlap_batched(basis, workspace=workspace)
+    return overlap_loop(basis, workspace=workspace)
+
+
+def overlap_loop(
+    basis: BasisSet, workspace: IntegralWorkspace | None = None
+) -> np.ndarray:
+    """Reference per-pair overlap driver (see `overlap`)."""
     n = basis.nbf
     S = np.zeros((n, n))
     for ish, sha in enumerate(basis.shells):
@@ -105,7 +120,22 @@ def _kinetic_block(pd, ca, cb) -> np.ndarray:
 def kinetic(
     basis: BasisSet, workspace: IntegralWorkspace | None = None
 ) -> np.ndarray:
-    """Kinetic-energy matrix T, shape ``(nbf, nbf)``."""
+    """Kinetic-energy matrix T, shape ``(nbf, nbf)``.
+
+    Dispatches on the active kernel mode (`repro.integrals.batch`); the
+    batched default is bitwise-identical to `kinetic_loop`.
+    """
+    from .batch import kinetic_batched, use_batched
+
+    if use_batched():
+        return kinetic_batched(basis, workspace=workspace)
+    return kinetic_loop(basis, workspace=workspace)
+
+
+def kinetic_loop(
+    basis: BasisSet, workspace: IntegralWorkspace | None = None
+) -> np.ndarray:
+    """Reference per-pair kinetic-energy driver (see `kinetic`)."""
     n = basis.nbf
     T = np.zeros((n, n))
     for ish, sha in enumerate(basis.shells):
@@ -139,7 +169,25 @@ def nuclear(
     basis: BasisSet, mol: Molecule,
     workspace: IntegralWorkspace | None = None,
 ) -> np.ndarray:
-    """Nuclear-attraction matrix V (negative definite), shape ``(nbf, nbf)``."""
+    """Nuclear-attraction matrix V (negative definite), shape ``(nbf, nbf)``.
+
+    Dispatches on the active kernel mode (`repro.integrals.batch`). The
+    batched kernel uses a fixed (batch-size-invariant) contraction path,
+    agreeing with `nuclear_loop` to tight tolerance but not bitwise (the
+    loop driver's ``optimize=True`` einsum path is shape-dependent).
+    """
+    from .batch import nuclear_batched, use_batched
+
+    if use_batched():
+        return nuclear_batched(basis, mol, workspace=workspace)
+    return nuclear_loop(basis, mol, workspace=workspace)
+
+
+def nuclear_loop(
+    basis: BasisSet, mol: Molecule,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
+    """Reference per-pair nuclear-attraction driver (see `nuclear`)."""
     n = basis.nbf
     V = np.zeros((n, n))
     Z = mol.atomic_numbers.astype(float)
@@ -185,7 +233,22 @@ def contract_overlap_deriv(
 
     Loops over all ordered shell pairs; uses translational invariance
     (``dS/dB = -dS/dA``) so only bra derivatives are computed.
+
+    Dispatches on the active kernel mode (`repro.integrals.batch`); the
+    batched default is bitwise-identical to `contract_overlap_deriv_loop`.
     """
+    from .batch import contract_overlap_deriv_batched, use_batched
+
+    if use_batched():
+        return contract_overlap_deriv_batched(basis, X, workspace=workspace)
+    return contract_overlap_deriv_loop(basis, X, workspace=workspace)
+
+
+def contract_overlap_deriv_loop(
+    basis: BasisSet, X: np.ndarray,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
+    """Reference per-pair overlap-derivative driver."""
     natoms = int(max(sh.atom for sh in basis.shells)) + 1
     g = np.zeros((natoms, 3))
     Xs = X + X.T  # S^xi is symmetric; fold the ish<jsh restriction in
@@ -213,7 +276,23 @@ def contract_kinetic_deriv(
     basis: BasisSet, X: np.ndarray,
     workspace: IntegralWorkspace | None = None,
 ) -> np.ndarray:
-    """``sum X_{mu nu} dT_{mu nu}/dR`` via bra-side differentiation."""
+    """``sum X_{mu nu} dT_{mu nu}/dR`` via bra-side differentiation.
+
+    Dispatches on the active kernel mode (`repro.integrals.batch`); the
+    batched default is bitwise-identical to `contract_kinetic_deriv_loop`.
+    """
+    from .batch import contract_kinetic_deriv_batched, use_batched
+
+    if use_batched():
+        return contract_kinetic_deriv_batched(basis, X, workspace=workspace)
+    return contract_kinetic_deriv_loop(basis, X, workspace=workspace)
+
+
+def contract_kinetic_deriv_loop(
+    basis: BasisSet, X: np.ndarray,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
+    """Reference per-pair kinetic-derivative driver."""
     natoms = int(max(sh.atom for sh in basis.shells)) + 1
     g = np.zeros((natoms, 3))
     Xs = X + X.T  # T^xi is symmetric: halve the pair loop
@@ -284,7 +363,25 @@ def contract_nuclear_deriv(
     derivative with respect to each nuclear position C follows from
     translational invariance of each C term:
     ``dV_C/dC = -(dV_C/dA + dV_C/dB)``.
+
+    Dispatches on the active kernel mode (`repro.integrals.batch`). Like
+    `nuclear`, the batched kernel matches `contract_nuclear_deriv_loop`
+    to tight tolerance but not bitwise (the loop's ``optimize=True``
+    einsum path is shape-dependent); the per-pair accumulation order is
+    still replayed exactly.
     """
+    from .batch import contract_nuclear_deriv_batched, use_batched
+
+    if use_batched():
+        return contract_nuclear_deriv_batched(basis, mol, X, workspace=workspace)
+    return contract_nuclear_deriv_loop(basis, mol, X, workspace=workspace)
+
+
+def contract_nuclear_deriv_loop(
+    basis: BasisSet, mol: Molecule, X: np.ndarray,
+    workspace: IntegralWorkspace | None = None,
+) -> np.ndarray:
+    """Reference per-pair nuclear-derivative driver."""
     natoms = mol.natoms
     g = np.zeros((natoms, 3))
     Z = mol.atomic_numbers.astype(float)

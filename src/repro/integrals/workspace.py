@@ -76,6 +76,43 @@ def _centers(basis) -> np.ndarray:
     return np.array([sh.center for sh in basis.shells])
 
 
+def payload_nbytes(payload) -> int:
+    """Actual bytes held alive by a cached payload.
+
+    Walks arrays, dataclass-like objects, and the standard containers,
+    deduplicating by object identity so arrays shared between entries of
+    one payload (e.g. the scaffold tuples in `aux_groups`) are counted
+    once. Replaces the hand-maintained per-call-site size expressions,
+    which had drifted from the stored payloads (they under-counted the
+    `PairData` tables and ignored container members entirely), skewing
+    the LRU eviction order away from the actual memory footprint.
+    """
+    seen: set[int] = set()
+
+    def walk(obj) -> int:
+        oid = id(obj)
+        if oid in seen:
+            return 0
+        seen.add(oid)
+        if isinstance(obj, np.ndarray):
+            # views/slices keep the whole base buffer alive
+            base = obj.base if obj.base is not None else obj
+            if id(base) in seen and base is not obj:
+                return 0
+            seen.add(id(base))
+            return int(base.nbytes)
+        if isinstance(obj, (list, tuple, set, frozenset)):
+            return sum(walk(x) for x in obj)
+        if isinstance(obj, dict):
+            return sum(walk(v) for v in obj.values())
+        fields = getattr(obj, "__dataclass_fields__", None)
+        if fields is not None:
+            return sum(walk(getattr(obj, name)) for name in fields)
+        return 0
+
+    return walk(payload)
+
+
 class IntegralWorkspace:
     """Per-process cache of integral-engine intermediates (LRU budgeted).
 
@@ -95,7 +132,10 @@ class IntegralWorkspace:
     * `aux_function_bounds` — per-auxiliary-function bounds
       ``sqrt((P|P))`` (translation invariant, cached exactly);
     * `dmax_blocks` — per-shell-block max |D| tables for the 4c
-      derivative driver, keyed on the density bytes.
+      derivative driver, keyed on the density bytes;
+    * `shell_classes` — packed per-class shell-pair tables for the
+      batched kernels (`repro.integrals.batch`), keyed on the exact
+      geometry.
 
     ``enabled=False`` turns every lookup into a miss and stores nothing
     (statistics-only mode, mirroring `GuessCache`). ``tracer`` receives
@@ -157,9 +197,11 @@ class IntegralWorkspace:
         self.hits += 1
         return entry[0]
 
-    def _put(self, key: tuple, payload, nbytes: int) -> None:
+    def _put(self, key: tuple, payload, nbytes: int | None = None) -> None:
         if not self.enabled:
             return
+        if nbytes is None:
+            nbytes = payload_nbytes(payload)
         old = self._entries.pop(key, None)
         if old is not None:
             self._nbytes -= old[1]
@@ -198,7 +240,7 @@ class IntegralWorkspace:
         pd = self._get(key)
         if pd is None:
             pd = pair_data(sha, shb, self.PAIR_DI, self.PAIR_DJ)
-            self._put(key, pd, pd.E.nbytes + pd.P.nbytes + 4 * pd.a.nbytes)
+            self._put(key, pd)
         return pd
 
     # ------------------------------------------------------------------
@@ -225,12 +267,10 @@ class IntegralWorkspace:
             for idx, sh in enumerate(aux.shells):
                 by_l.setdefault(sh.l, []).append(idx)
             scaffold = []
-            nbytes = 0
             for grp in groups:
                 idxs = np.array(by_l[grp.l], dtype=int)
                 scaffold.append((grp, idxs))
-                nbytes += grp.pd.E.nbytes + grp.offsets.nbytes
-            self._put(key, scaffold, nbytes)
+            self._put(key, scaffold)
             if self.tracer:
                 self.tracer.instant(
                     "workspace.hit", cat="integrals", product="aux_groups",
@@ -295,7 +335,7 @@ class IntegralWorkspace:
                 return Q * self.stale_safety
         Q = schwarz_pair_bounds(basis, workspace=self)
         self.bound_rebuilds += 1
-        self._put(key, (Q, coords), Q.nbytes + coords.nbytes)
+        self._put(key, (Q, coords))
         if self.tracer:
             self.tracer.instant(
                 "workspace.hit", cat="integrals", product="schwarz",
@@ -315,7 +355,7 @@ class IntegralWorkspace:
         q = self._get(key)
         if q is None:
             q = aux_function_bounds(aux)
-            self._put(key, q, q.nbytes)
+            self._put(key, q)
         return q
 
     def dmax_blocks(self, basis, D: np.ndarray) -> np.ndarray:
@@ -329,8 +369,39 @@ class IntegralWorkspace:
         table = self._get(key)
         if table is None:
             table = _dmax_table(basis, D)
-            self._put(key, table, table.nbytes)
+            self._put(key, table)
         return table
+
+    # ------------------------------------------------------------------
+    # batched shell-class tables
+    # ------------------------------------------------------------------
+    def shell_classes(self, basis) -> list:
+        """Packed shell-pair class tables for the batched kernels.
+
+        Keyed on composition plus the exact shell centers: the packed E
+        tables are geometry-dependent, so within one geometry every
+        driver (overlap/kinetic/nuclear/Schwarz/3c/derivatives) shares a
+        single class build, and the next MD step naturally misses.
+        """
+        from .batch import _build_shell_classes
+
+        key = ("classtab", basis_composition_key(basis),
+               _centers(basis).tobytes())
+        classes = self._get(key)
+        if classes is None:
+            classes = _build_shell_classes(basis)
+            self._put(key, classes)
+            if self.tracer:
+                self.tracer.instant(
+                    "workspace.hit", cat="integrals",
+                    product="shell_classes", hit=False,
+                )
+        elif self.tracer:
+            self.tracer.instant(
+                "workspace.hit", cat="integrals",
+                product="shell_classes", hit=True,
+            )
+        return classes
 
     # ------------------------------------------------------------------
     # screening statistics

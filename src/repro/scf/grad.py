@@ -40,17 +40,25 @@ def _energy_weighted_density(res: SCFResult) -> np.ndarray:
     return 2.0 * gemm(Co * eps_o[None, :], Co.T)
 
 
-def rhf_gradient_conventional(res: SCFResult, workspace=None) -> np.ndarray:
+def rhf_gradient_conventional(
+    res: SCFResult, workspace=None, int_screen: float | None = None
+) -> np.ndarray:
     """Analytic gradient of a conventional (four-center) RHF energy.
 
     Returns ``(natoms, 3)`` in Hartree/Bohr. ``workspace`` serves cached
-    pair tables plus the Schwarz/Dmax screening tables.
+    pair tables plus the Schwarz/Dmax screening tables. ``int_screen``
+    overrides the four-center driver's default threshold; pass ``0.0``
+    for the exact (unscreened) path, which also skips the Schwarz/Dmax
+    table builds entirely.
     """
     mol = res.mol
     natoms = mol.natoms
     g = mol.nuclear_repulsion_gradient()
     g += contract_hcore_deriv(res.basis, mol, res.D, workspace)
-    g += contract_eri4c_deriv_hf(res.basis, res.D, natoms, workspace=workspace)
+    screen = 1.0e-11 if int_screen is None else float(int_screen)
+    g += contract_eri4c_deriv_hf(
+        res.basis, res.D, natoms, screen=screen, workspace=workspace
+    )
     W = _energy_weighted_density(res)
     g -= contract_overlap_deriv(res.basis, W, workspace)
     return g
@@ -107,9 +115,21 @@ def rhf_gradient_ri(
 
 
 def rhf_gradient(
-    res: SCFResult, int_screen: float = 0.0, workspace=None
+    res: SCFResult, int_screen: float | None = None, workspace=None
 ) -> np.ndarray:
-    """Dispatch on how the SCF was solved."""
+    """Dispatch on how the SCF was solved.
+
+    ``int_screen=None`` keeps each path's historical default: unscreened
+    for RI (the 3c driver screens only on request) and ``1e-11`` for the
+    conventional four-center driver. An explicit value is forwarded to
+    both.
+    """
     if res.method == "ri-rhf":
-        return rhf_gradient_ri(res, int_screen=int_screen, workspace=workspace)
-    return rhf_gradient_conventional(res, workspace=workspace)
+        return rhf_gradient_ri(
+            res,
+            int_screen=0.0 if int_screen is None else int_screen,
+            workspace=workspace,
+        )
+    return rhf_gradient_conventional(
+        res, workspace=workspace, int_screen=int_screen
+    )

@@ -1,0 +1,515 @@
+"""Batched shell-class kernels vs the per-pair loop reference.
+
+The batched drivers in `repro.integrals.batch` evaluate whole
+shell-pair classes per array-kernel call; the per-pair loop drivers
+they replaced remain as the reference implementation. The contract
+under test:
+
+* **Bitwise parity** — overlap, kinetic, their contracted derivatives,
+  ``eri3c`` and its contracted derivative (screened and unscreened,
+  including the neglected-bound accumulation) must be bitwise identical
+  to the loop drivers. Nuclear attraction and the Schwarz table agree
+  to tight tolerance only (the loop drivers use shape-dependent
+  ``optimize=True`` einsum paths there), which is safe because both
+  kernel modes share one cached Schwarz table per workspace — the
+  screening *decisions* stay mode-independent.
+* **Chunk invariance** — the deterministic chunking of large classes
+  must not change a single bit of the result.
+* **Backend protocol** — numpy is always available; requesting an
+  uninstalled backend fails with `BackendUnavailableError` at selection
+  time; the JAX backend (when installed) provides autodiff gradients
+  that cross-check the hand-derived derivative drivers.
+* **Cache accounting** — `payload_nbytes` counts actual array payloads
+  (deduplicating shared bases), and both LRU caches evict in true
+  least-recently-used order.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    available_backends,
+    get_backend,
+    set_default_backend,
+)
+from repro.basis import BasisSet, auto_auxiliary
+from repro.calculators import GuessCache, RIHFCalculator
+from repro.chem import Molecule
+from repro.frag import FragmentedSystem, build_plan, mbe_energy_gradient
+from repro.integrals import (
+    IntegralWorkspace,
+    kernel_mode,
+    kernels,
+    set_kernel_mode,
+)
+from repro.integrals import batch
+from repro.integrals.batch import (
+    build_shell_classes,
+    contract_eri3c_deriv_batched,
+    contract_kinetic_deriv_batched,
+    contract_nuclear_deriv_batched,
+    contract_overlap_deriv_batched,
+    eri3c_batched,
+    kinetic_batched,
+    nuclear_batched,
+    overlap_batched,
+    schwarz_pair_bounds_batched,
+)
+from repro.integrals.eri import (
+    contract_eri3c_deriv_loop,
+    contract_eri4c_deriv_hf,
+    eri3c_loop,
+    schwarz_pair_bounds_loop,
+)
+from repro.integrals.onee import (
+    contract_kinetic_deriv_loop,
+    contract_nuclear_deriv_loop,
+    contract_overlap_deriv_loop,
+    kinetic_loop,
+    nuclear_loop,
+    overlap_loop,
+)
+from repro.integrals.workspace import payload_nbytes
+from repro.systems import water_cluster
+
+HAVE_JAX = importlib.util.find_spec("jax") is not None
+
+
+@pytest.fixture(scope="module")
+def water() -> Molecule:
+    mol = water_cluster(1, seed=0)
+    # break all point-group symmetry so no accidental cancellations
+    rng = np.random.default_rng(7)
+    return Molecule(
+        mol.symbols, mol.coords + 0.05 * rng.standard_normal(mol.coords.shape)
+    )
+
+
+@pytest.fixture(scope="module")
+def water_dimer() -> Molecule:
+    return water_cluster(2, seed=3)
+
+
+def _setup(mol, basis_name):
+    bs = BasisSet.build(mol, basis_name)
+    aux = auto_auxiliary(mol)
+    return bs, aux
+
+
+def _sym(n, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, n))
+    return X + X.T
+
+
+BASES = ["sto-3g", "repro-dzp"]
+
+
+class TestOneElectronParity:
+    """s/p/d shell-class mixes: sto-3g is s/p, repro-dzp adds d."""
+
+    @pytest.mark.parametrize("basis_name", BASES)
+    def test_overlap_bitwise(self, water, basis_name):
+        bs, _ = _setup(water, basis_name)
+        assert np.array_equal(overlap_batched(bs), overlap_loop(bs))
+
+    @pytest.mark.parametrize("basis_name", BASES)
+    def test_kinetic_bitwise(self, water, basis_name):
+        bs, _ = _setup(water, basis_name)
+        assert np.array_equal(kinetic_batched(bs), kinetic_loop(bs))
+
+    @pytest.mark.parametrize("basis_name", BASES)
+    def test_nuclear_close(self, water, basis_name):
+        bs, _ = _setup(water, basis_name)
+        np.testing.assert_allclose(
+            nuclear_batched(bs, water), nuclear_loop(bs, water),
+            rtol=0, atol=1e-13,
+        )
+
+    @pytest.mark.parametrize("basis_name", BASES)
+    def test_overlap_deriv_bitwise(self, water, basis_name):
+        bs, _ = _setup(water, basis_name)
+        X = _sym(bs.nbf, seed=1)
+        assert np.array_equal(
+            contract_overlap_deriv_batched(bs, X),
+            contract_overlap_deriv_loop(bs, X),
+        )
+
+    @pytest.mark.parametrize("basis_name", BASES)
+    def test_kinetic_deriv_bitwise(self, water, basis_name):
+        bs, _ = _setup(water, basis_name)
+        X = _sym(bs.nbf, seed=2)
+        assert np.array_equal(
+            contract_kinetic_deriv_batched(bs, X),
+            contract_kinetic_deriv_loop(bs, X),
+        )
+
+    @pytest.mark.parametrize("basis_name", BASES)
+    def test_nuclear_deriv_close(self, water, basis_name):
+        bs, _ = _setup(water, basis_name)
+        X = _sym(bs.nbf, seed=3)
+        np.testing.assert_allclose(
+            contract_nuclear_deriv_batched(bs, water, X),
+            contract_nuclear_deriv_loop(bs, water, X),
+            rtol=0, atol=1e-12,
+        )
+
+
+class TestThreeCenterParity:
+    @pytest.mark.parametrize("basis_name", BASES)
+    def test_eri3c_bitwise_unscreened(self, water, basis_name):
+        bs, aux = _setup(water, basis_name)
+        assert np.array_equal(
+            eri3c_batched(bs, aux, screen=0.0),
+            eri3c_loop(bs, aux, screen=0.0),
+        )
+
+    def test_eri3c_bitwise_screened_shared_table(self, water_dimer):
+        """Same Schwarz table (one workspace) -> same skips, same bits."""
+        bs, aux = _setup(water_dimer, "sto-3g")
+        ws = IntegralWorkspace()
+        a = eri3c_batched(bs, aux, screen=1e-6, workspace=ws)
+        skipped_a = ws.pairs_skipped
+        neglect_a = ws.neglected_bound
+        b = eri3c_loop(bs, aux, screen=1e-6, workspace=ws)
+        assert np.array_equal(a, b)
+        # identical screening decisions and bitwise-identical
+        # neglected-bound accumulation across the two modes
+        assert ws.pairs_skipped == 2 * skipped_a
+        assert ws.neglected_bound == 2 * neglect_a
+
+    def test_schwarz_close(self, water):
+        bs, _ = _setup(water, "repro-dzp")
+        np.testing.assert_allclose(
+            schwarz_pair_bounds_batched(bs), schwarz_pair_bounds_loop(bs),
+            rtol=1e-12, atol=0,
+        )
+
+    @pytest.mark.parametrize("screen", [0.0, 1e-6])
+    def test_eri3c_deriv_bitwise(self, water_dimer, screen):
+        bs, aux = _setup(water_dimer, "sto-3g")
+        rng = np.random.default_rng(4)
+        Z = rng.standard_normal((bs.nbf, bs.nbf, aux.nbf))
+        Z = Z + Z.transpose(1, 0, 2)
+        ws = IntegralWorkspace()
+        gb = contract_eri3c_deriv_batched(
+            bs, aux, Z, water_dimer.natoms, screen=screen, workspace=ws
+        )
+        gl = contract_eri3c_deriv_loop(
+            bs, aux, Z, water_dimer.natoms, screen=screen, workspace=ws
+        )
+        assert np.array_equal(gb, gl)
+        # translation invariance survives batching (and screening)
+        np.testing.assert_allclose(gb.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_chunk_invariance(self, water_dimer, monkeypatch):
+        """Tiny chunks must reproduce the one-shot result bitwise."""
+        bs, aux = _setup(water_dimer, "sto-3g")
+        ref = eri3c_batched(bs, aux)
+        X = _sym(bs.nbf, seed=5)
+        dref = contract_overlap_deriv_batched(bs, X)
+        monkeypatch.setattr(batch, "_CHUNK_ELEMS", 256)
+        assert np.array_equal(eri3c_batched(bs, aux), ref)
+        assert np.array_equal(contract_overlap_deriv_batched(bs, X), dref)
+
+
+class TestKernelModeDispatch:
+    def test_mode_roundtrip(self):
+        prev = kernel_mode()
+        try:
+            set_kernel_mode("loop")
+            assert kernel_mode() == "loop"
+            with kernels("batched"):
+                assert kernel_mode() == "batched"
+            assert kernel_mode() == "loop"
+        finally:
+            set_kernel_mode(prev)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="kernel mode"):
+            set_kernel_mode("vectorised")
+
+    def test_dispatchers_follow_mode(self, water, monkeypatch):
+        """Public drivers route to the loop kernels under kernels('loop')."""
+        from repro.integrals import overlap
+
+        bs, _ = _setup(water, "sto-3g")
+        calls = []
+        real = batch.overlap_batched
+
+        def spy(*a, **kw):
+            calls.append(1)
+            return real(*a, **kw)
+
+        monkeypatch.setattr(batch, "overlap_batched", spy)
+        with kernels("loop"):
+            overlap(bs)
+        assert not calls
+        with kernels("batched"):
+            overlap(bs)
+        assert calls
+
+    def test_shell_classes_cached_in_workspace(self, water):
+        bs, _ = _setup(water, "sto-3g")
+        ws = IntegralWorkspace()
+        c1 = build_shell_classes(bs, ws)
+        c2 = build_shell_classes(bs, ws)
+        assert c1 is c2
+        assert ws.hits >= 1
+
+
+class TestBackendProtocol:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+        be = get_backend("numpy")
+        assert be.is_numpy and be.xp is np
+        assert be is get_backend("numpy")  # memoized
+
+    def test_default_resolution(self):
+        set_default_backend(None)
+        assert get_backend().name == "numpy"
+        set_default_backend("numpy")
+        try:
+            assert get_backend().name == "numpy"
+        finally:
+            set_default_backend(None)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("tpu")
+
+    @pytest.mark.skipif(HAVE_JAX, reason="jax installed here")
+    def test_missing_optional_backend_fails_cleanly(self):
+        with pytest.raises(BackendUnavailableError, match="jax"):
+            get_backend("jax")
+        # selection also validates eagerly
+        with pytest.raises(BackendUnavailableError):
+            set_default_backend("jax")
+        assert get_backend().name == "numpy"  # default unchanged
+
+    def test_scatter_set_and_gammainc(self):
+        be = ArrayBackend()
+        a = np.zeros(4)
+        out = be.scatter_set(a, np.array([1, 3]), np.array([2.0, 4.0]))
+        assert np.array_equal(out, [0.0, 2.0, 0.0, 4.0])
+        from scipy.special import gammainc
+
+        assert be.gammainc(0.5, 1.2) == gammainc(0.5, 1.2)
+
+
+@pytest.mark.skipif(not HAVE_JAX, reason="jax not installed")
+class TestAutodiffCrossCheck:
+    """JAX grad through the functional kernels vs the analytic drivers."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        import jax
+
+        mol = water_cluster(2, seed=3)
+        bs = BasisSet.build(mol, "sto-3g")
+        aux = auto_auxiliary(mol)
+        be = get_backend("jax")
+        from repro.integrals.batch import AutodiffIntegrals
+
+        ai = AutodiffIntegrals(bs, mol, aux=aux, be=be)
+        return jax, mol, bs, aux, ai
+
+    def test_overlap_grad(self, setup):
+        jax, mol, bs, _, ai = setup
+        X = _sym(bs.nbf, seed=6)
+
+        def f(coords):
+            return (get_backend("jax").asarray(X) * ai.overlap(coords)).sum()
+
+        g = np.asarray(jax.grad(f)(get_backend("jax").asarray(mol.coords)))
+        ref = contract_overlap_deriv_loop(bs, X)
+        np.testing.assert_allclose(g, ref, rtol=1e-9, atol=1e-12)
+
+    def test_hcore_grad(self, setup):
+        jax, mol, bs, _, ai = setup
+        X = _sym(bs.nbf, seed=7)
+        be = get_backend("jax")
+
+        def f(coords):
+            return (be.asarray(X) * ai.hcore(coords)).sum()
+
+        g = np.asarray(jax.grad(f)(be.asarray(mol.coords)))
+        ref = contract_kinetic_deriv_loop(bs, X)
+        ref = ref + contract_nuclear_deriv_loop(bs, mol, X)
+        # autodiff also differentiates the operator centers (nuclear
+        # attraction), which the analytic driver includes too
+        np.testing.assert_allclose(g, ref, rtol=1e-9, atol=1e-11)
+
+    def test_eri3c_grad(self, setup):
+        jax, mol, bs, aux, ai = setup
+        rng = np.random.default_rng(8)
+        Z = rng.standard_normal((bs.nbf, bs.nbf, aux.nbf))
+        Z = Z + Z.transpose(1, 0, 2)
+        be = get_backend("jax")
+
+        def f(coords):
+            return (be.asarray(Z) * ai.eri3c(coords)).sum()
+
+        g = np.asarray(jax.grad(f)(be.asarray(mol.coords)))
+        ref = contract_eri3c_deriv_loop(bs, aux, Z, mol.natoms)
+        np.testing.assert_allclose(g, ref, rtol=1e-9, atol=1e-11)
+
+
+class TestFourCenterScreenBypass:
+    def test_screen_zero_skips_schwarz_build(self, water):
+        """Exact mode must not touch the Schwarz/Dmax machinery at all."""
+        bs, _ = _setup(water, "sto-3g")
+        n = bs.nbf
+        D = _sym(n, seed=9)
+        ws = IntegralWorkspace()
+
+        def boom(*a, **kw):  # pragma: no cover - must not be called
+            raise AssertionError("Schwarz table built in exact mode")
+
+        ws.schwarz_bounds = boom
+        ws.dmax_blocks = boom
+        g = contract_eri4c_deriv_hf(
+            bs, D, water.natoms, screen=0.0, workspace=ws
+        )
+        assert g.shape == (water.natoms, 3)
+        assert ws.pairs_skipped == 0
+
+    def test_screened_matches_exact(self, water):
+        bs, _ = _setup(water, "sto-3g")
+        D = _sym(bs.nbf, seed=10)
+        g0 = contract_eri4c_deriv_hf(bs, D, water.natoms, screen=0.0)
+        g1 = contract_eri4c_deriv_hf(bs, D, water.natoms, screen=1e-11)
+        np.testing.assert_allclose(g1, g0, atol=1e-10)
+
+
+class TestScreenedBatchedMBE:
+    def test_mbe3_energy_gradient_vs_exact(self):
+        """Screened batched MBE3 assembly vs the exact loop reference."""
+        mol = water_cluster(3, seed=11)
+        fs = FragmentedSystem.by_components(mol)
+        plan = build_plan(fs, 1e9, 1e9, order=3)
+        with kernels("loop"):
+            e0, g0 = mbe_energy_gradient(
+                fs, plan,
+                RIHFCalculator(workspace=IntegralWorkspace(enabled=False),
+                               int_screen=0.0),
+            )
+        with kernels("batched"):
+            ws = IntegralWorkspace()
+            e1, g1 = mbe_energy_gradient(
+                fs, plan, RIHFCalculator(workspace=ws, int_screen=1e-12)
+            )
+        assert abs(e1 - e0) <= 1e-8
+        np.testing.assert_allclose(g1, g0, atol=1e-7)
+        assert ws.hits > 0
+
+
+class TestByteAccounting:
+    def test_payload_nbytes_counts_and_dedups(self):
+        a = np.zeros(1000)  # 8000 bytes
+        assert payload_nbytes(a) == a.nbytes
+        # a view shares its base buffer: counted once, not twice
+        assert payload_nbytes([a, a[10:500]]) == a.nbytes
+        assert payload_nbytes([a, a]) == a.nbytes
+        b = np.zeros((10, 10))
+        assert payload_nbytes({"x": a, "y": (b, 3, "s")}) == a.nbytes + b.nbytes
+        assert payload_nbytes("not an array") == 0
+
+    def test_payload_nbytes_walks_dataclasses(self, water):
+        bs, _ = _setup(water, "sto-3g")
+        classes = build_shell_classes(bs)
+        n = payload_nbytes(classes)
+        assert n >= sum(c.E.nbytes for c in classes)
+
+    def test_workspace_lru_eviction_order(self):
+        ws = IntegralWorkspace(max_bytes=3000)
+        a = np.zeros(125)  # 1000 bytes each
+        ws._put(("k1",), a.copy())
+        ws._put(("k2",), a.copy())
+        ws._put(("k3",), a.copy())
+        assert ws.nbytes == 3000 and ws.evictions == 0
+        ws._get(("k1",))  # refresh k1 -> k2 is now least recently used
+        ws._put(("k4",), a.copy())
+        assert ws.evictions == 1
+        assert ws._get(("k2",)) is None  # the LRU victim
+        assert ws._get(("k1",)) is not None
+        assert ws._get(("k3",)) is not None
+        assert ws._get(("k4",)) is not None
+
+    def test_workspace_accounts_actual_nbytes(self, water):
+        bs, _ = _setup(water, "sto-3g")
+        ws = IntegralWorkspace()
+        overlap_batched(bs, workspace=ws)
+        assert ws.nbytes == payload_nbytes(
+            [e[0] for e in ws._entries.values()]
+        )
+
+    def test_guess_cache_lru_eviction_order(self):
+        D = np.zeros((20, 20))  # 3200 bytes
+        cache = GuessCache(max_bytes=3 * D.nbytes, history=1)
+        cache.put(("f1",), D.copy(), natoms=3)
+        cache.put(("f2",), D.copy(), natoms=3)
+        cache.put(("f3",), D.copy(), natoms=3)
+        assert cache.nbytes == 3 * D.nbytes
+        assert cache.evictions == 0
+        assert cache.get(("f1",)) is not None  # refresh f1
+        cache.put(("f4",), D.copy(), natoms=3)
+        assert cache.evictions == 1
+        assert cache.get(("f2",)) is None  # the LRU victim
+        assert cache.get(("f1",)) is not None
+        assert cache.get(("f3",)) is not None
+
+    def test_guess_cache_counts_history_bytes(self):
+        D = np.zeros((10, 10))
+        cache = GuessCache(history=3)
+        cache.put(("f",), D.copy(), natoms=3)
+        assert cache.nbytes == D.nbytes
+        cache.put(("f",), D.copy(), natoms=3)
+        assert cache.nbytes == 2 * D.nbytes
+        cache.put(("f",), D.copy(), natoms=3)
+        cache.put(("f",), D.copy(), natoms=3)  # history caps at 3
+        assert cache.nbytes == 3 * D.nbytes
+
+
+class TestCLIOptions:
+    @pytest.fixture()
+    def water_file(self, tmp_path):
+        from repro.chem.xyz import save_xyz
+        from repro.systems import water_monomer
+
+        p = tmp_path / "water.xyz"
+        save_xyz(water_monomer(), str(p))
+        return str(p)
+
+    def test_int_kernels_loop(self, water_file, capsys):
+        from repro.cli import main
+
+        prev = kernel_mode()
+        try:
+            assert main(["scf", water_file, "--int-kernels", "loop"]) == 0
+            assert kernel_mode() == "loop"
+        finally:
+            set_kernel_mode(prev)
+        assert "E(SCF)" in capsys.readouterr().out
+
+    def test_backend_numpy(self, water_file, capsys):
+        from repro.cli import main
+
+        try:
+            assert main(["scf", water_file, "--backend", "numpy"]) == 0
+        finally:
+            set_default_backend(None)
+        assert "E(SCF)" in capsys.readouterr().out
+
+    @pytest.mark.skipif(HAVE_JAX, reason="jax installed here")
+    def test_backend_unavailable_exits_cleanly(self, water_file):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="jax"):
+            main(["scf", water_file, "--backend", "jax"])

@@ -207,13 +207,20 @@ class TestWorkspaceInvalidation:
         assert ws.bound_rebuilds == 2  # no cross-composition hit
 
     def test_lru_eviction_preserves_exactness(self, water_dimer):
+        # The batched kernels cache one class-table entry per basis, so
+        # a second basis is needed to give the tiny budget something to
+        # evict; the loop kernels evict per-pair entries along the way.
         bs = BasisSet.build(water_dimer, "sto-3g")
+        bs2 = BasisSet.build(water_dimer, "repro-dz")
         ws = IntegralWorkspace(max_bytes=20_000)  # far below working set
         assert np.array_equal(overlap(bs, workspace=ws), overlap(bs))
         assert np.array_equal(hcore(bs, water_dimer, workspace=ws),
                               hcore(bs, water_dimer))
+        assert np.array_equal(overlap(bs2, workspace=ws), overlap(bs2))
         assert ws.evictions > 0
         assert ws.nbytes <= 20_000 or len(ws) == 1
+        # evicted tables rebuild transparently and stay exact
+        assert np.array_equal(overlap(bs, workspace=ws), overlap(bs))
 
     def test_disabled_workspace_stores_nothing(self, water_dimer):
         bs = BasisSet.build(water_dimer, "sto-3g")
