@@ -1,0 +1,236 @@
+"""Failure-adjusted efficiency of the urea campaign under an MTBF sweep.
+
+At 9,400 Frontier nodes a per-node MTBF of 40,000 h compounds into a
+system MTBF of ~4.25 h — shorter than the paper's 3.16 h production
+trajectory — so the headline strong-scaling numbers only survive
+contact with reality if checkpoint/restart is priced in. This benchmark
+projects the paper's urea campaign (`repro.cluster.aggregate`) across a
+node sweep, then applies the Young-Daly checkpoint economics
+(`repro.cluster.failures`) at each scale:
+
+* efficiency with the **optimal** checkpoint interval vs a **naive**
+  (far-too-frequent) one — the cost of getting the interval wrong;
+* the *empirically* best interval from the seeded Monte-Carlo replay
+  vs the analytic ``sqrt(2 delta M)`` estimate — the two must agree
+  within 20% (the ISSUE acceptance criterion, also pinned in
+  ``tests/test_cluster_failures.py``).
+
+Runnable two ways:
+
+* ``python benchmarks/bench_failures.py [--smoke] [--json PATH]`` —
+  standalone CLI (CI runs the ``--smoke`` variant) writing a JSON
+  record under ``benchmarks/output/``;
+* ``pytest benchmarks/bench_failures.py`` — the harness form used by
+  the other paper benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import format_table  # noqa: E402
+from repro.cluster import (  # noqa: E402
+    FRONTIER,
+    PAPER_CALIBRATED,
+    NodeFailureModel,
+    failure_adjusted_efficiency,
+    optimal_interval,
+    simulate_workload,
+    urea_workload,
+    young_daly_interval,
+)
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: replayed vs analytic optimal interval must agree to this factor
+AGREEMENT_BAND = (0.8, 1.25)
+
+#: the campaign length the paper's production run targets (3.16 h of
+#: trajectory re-run 4x over an allocation)
+CAMPAIGN_STEPS = 445
+
+
+def run_experiment(smoke: bool = False) -> dict:
+    nmolecules = 2000 if smoke else 63854
+    node_counts = [256, 1024] if smoke else [512, 2048, 9400]
+    mtbf_sweep = [10000.0, 40000.0] if smoke else [
+        5000.0, 10000.0, 20000.0, 40000.0, 80000.0,
+    ]
+    stats = urea_workload(nmolecules)
+    # the coordinator's serial trajectory write (cost model) is sub-second
+    # even for the 63k system; a *campaign* checkpoint also quiesces the
+    # asynchronous pipeline and captures distributed state, so the
+    # Young-Daly delta is minutes, not milliseconds.  A delta that tiny
+    # would also make the replay objective flat to within MC noise and
+    # the "optimal interval" meaningless.
+    trajectory_write_s = PAPER_CALIBRATED.checkpoint_cost_s(
+        nmolecules * 8  # urea: 8 atoms per molecule
+    )
+    checkpoint_cost_s = 60.0
+    results = {
+        "smoke": smoke,
+        "nmolecules": nmolecules,
+        "campaign_steps": CAMPAIGN_STEPS,
+        "checkpoint_cost_s": checkpoint_cost_s,
+        "trajectory_write_s": trajectory_write_s,
+        "restart_cost_s": 120.0,
+        "rows": [],
+        "interval_agreement": [],
+    }
+    for nodes in node_counts:
+        proj = simulate_workload(
+            stats, FRONTIER, nodes, nsteps=3, cost_model=PAPER_CALIBRATED
+        )
+        for mtbf_h in mtbf_sweep:
+            model = NodeFailureModel(mtbf_hours=mtbf_h)
+            eff_opt = failure_adjusted_efficiency(
+                proj, model, checkpoint_cost_s, restart_cost_s=120.0,
+                nsteps_total=CAMPAIGN_STEPS,
+            )
+            tau_yd = young_daly_interval(
+                model.system_mtbf_s(nodes), checkpoint_cost_s
+            )
+            eff_naive = failure_adjusted_efficiency(
+                proj, model, checkpoint_cost_s, restart_cost_s=120.0,
+                nsteps_total=CAMPAIGN_STEPS, interval_s=tau_yd / 20.0,
+            )
+            results["rows"].append({
+                "nodes": nodes,
+                "node_mtbf_hours": mtbf_h,
+                "system_mtbf_s": model.system_mtbf_s(nodes),
+                "tau_young_daly_s": tau_yd,
+                "efficiency_optimal": eff_opt,
+                "efficiency_naive": eff_naive,
+            })
+    # replay-vs-analytic agreement at the headline scale
+    nodes = node_counts[-1]
+    proj = simulate_workload(
+        stats, FRONTIER, nodes, nsteps=3, cost_model=PAPER_CALIBRATED
+    )
+    work_s = proj.time_per_step_s * CAMPAIGN_STEPS
+    for mtbf_h in mtbf_sweep:
+        model = NodeFailureModel(mtbf_hours=mtbf_h)
+        mtbf_s = model.system_mtbf_s(nodes)
+        tau_yd = young_daly_interval(mtbf_s, checkpoint_cost_s)
+        best_replay, replayed = optimal_interval(
+            work_s, mtbf_s, checkpoint_cost_s, restart_cost_s=120.0,
+            # the full 33-point grid in both modes: grid spacing is
+            # 8^(2/32) = 1.14x, comfortably inside the 20% band the
+            # agreement gate asserts (17 points would quantize at 1.30x).
+            # The objective is <1% deep across that band, so the argmin
+            # needs the MC error well below that: 64 replicas.
+            method="replay", seed=0, replicas=64,
+            grid_points=33,
+        )
+        results["interval_agreement"].append({
+            "nodes": nodes,
+            "node_mtbf_hours": mtbf_h,
+            "system_mtbf_s": mtbf_s,
+            "tau_young_daly_s": tau_yd,
+            "tau_replay_s": best_replay,
+            "ratio": best_replay / tau_yd,
+            "replay_failures": replayed.failures,
+            "replay_efficiency": replayed.efficiency,
+        })
+    return results
+
+
+def format_results(results: dict) -> str:
+    rows = []
+    for r in results["rows"]:
+        rows.append((
+            r["nodes"],
+            f"{r['node_mtbf_hours']:.0f}",
+            f"{r['system_mtbf_s'] / 3600.0:.2f}",
+            f"{r['tau_young_daly_s'] / 60.0:.1f}",
+            f"{r['efficiency_optimal']:.3f}",
+            f"{r['efficiency_naive']:.3f}",
+        ))
+    sweep = format_table(
+        ["nodes", "node MTBF h", "sys MTBF h", "tau* min",
+         "eff(opt)", "eff(naive)"],
+        rows,
+        title="Failure-adjusted campaign efficiency — urea workload",
+    )
+    rows = [
+        (
+            a["nodes"],
+            f"{a['node_mtbf_hours']:.0f}",
+            f"{a['tau_young_daly_s'] / 60.0:.1f}",
+            f"{a['tau_replay_s'] / 60.0:.1f}",
+            f"{a['ratio']:.3f}",
+            a["replay_failures"],
+        )
+        for a in results["interval_agreement"]
+    ]
+    agree = format_table(
+        ["nodes", "node MTBF h", "tau_YD min", "tau_replay min",
+         "ratio", "failures"],
+        rows,
+        title="Replayed vs Young-Daly optimal checkpoint interval",
+    )
+    return sweep + "\n\n" + agree
+
+
+def check_results(results: dict) -> None:
+    """Acceptance gates for the failure economics."""
+    lo, hi = AGREEMENT_BAND
+    for a in results["interval_agreement"]:
+        assert lo < a["ratio"] < hi, (
+            f"replayed optimal interval {a['tau_replay_s']:.0f}s is "
+            f"{a['ratio']:.2f}x the Young-Daly estimate "
+            f"{a['tau_young_daly_s']:.0f}s at MTBF "
+            f"{a['node_mtbf_hours']}h (band {lo}-{hi})"
+        )
+    for r in results["rows"]:
+        assert 0.0 < r["efficiency_naive"] <= r["efficiency_optimal"] < 1.0, (
+            f"naive interval must not beat the optimal one: {r}"
+        )
+    by_nodes: dict[int, list] = {}
+    for r in results["rows"]:
+        by_nodes.setdefault(r["nodes"], []).append(r)
+    for nodes, rows in by_nodes.items():
+        effs = [r["efficiency_optimal"]
+                for r in sorted(rows, key=lambda r: r["node_mtbf_hours"])]
+        assert effs == sorted(effs), (
+            f"efficiency must improve with node MTBF at {nodes} nodes: "
+            f"{effs}"
+        )
+
+
+def _write_json(results: dict, path: Path) -> None:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small workload / coarse grids (CI gate)")
+    ap.add_argument("--json", type=Path,
+                    default=OUTPUT_DIR / "failures.json",
+                    help="JSON output path")
+    args = ap.parse_args(argv)
+    results = run_experiment(smoke=args.smoke)
+    print(format_results(results))
+    _write_json(results, args.json)
+    print(f"\nwrote {args.json}")
+    check_results(results)
+    return 0
+
+
+def test_failure_economics(run_once, record_output):
+    results = run_once(lambda: run_experiment(smoke=True))
+    table = format_results(results)
+    record_output("failures", table)
+    _write_json(results, OUTPUT_DIR / "failures.json")
+    check_results(results)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

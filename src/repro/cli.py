@@ -162,6 +162,14 @@ def cmd_aimd(args) -> int:
     else:
         calc = RIMP2Calculator(basis=args.basis,
                                int_screen=args.int_screen)
+    fault_plan = None
+    if args.fault_plan:
+        from .faults import FaultPlan, FaultPlanCalculator
+
+        fault_plan = FaultPlan.load(args.fault_plan)
+        calc = FaultPlanCalculator(calc, fault_plan)
+        print(f"fault plan: {len(fault_plan.specs)} event spec(s), "
+              f"seed {fault_plan.seed} ({args.fault_plan})")
     v0 = maxwell_boltzmann_velocities(
         mol.masses_au, args.temperature, seed=args.seed
     )
@@ -181,10 +189,17 @@ def cmd_aimd(args) -> int:
         workspace.tracer = tracer
     resume = None
     if args.resume:
-        from .md import read_checkpoint
+        from pathlib import Path
 
-        resume = read_checkpoint(args.resume, mol=mol)
-        print(f"resuming from {args.resume}: step {resume.step} "
+        from .md import read_checkpoint_with_fallback
+
+        resume, used = read_checkpoint_with_fallback(
+            args.resume, mol=mol, tracer=tracer
+        )
+        if used != Path(args.resume):
+            print(f"checkpoint fallback: {args.resume} failed validation; "
+                  f"resumed from rotation {used}")
+        print(f"resuming from {used}: step {resume.step} "
               f"(t = {resume.time_fs:g} fs)")
     if args.deterministic and not args.no_warm_start and not args.surrogate:
         print("deterministic mode: SCF warm starts disabled "
@@ -202,8 +217,10 @@ def cmd_aimd(args) -> int:
         deterministic=args.deterministic,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        checkpoint_keep=args.checkpoint_keep,
         resume=resume,
         warm_start=not args.no_warm_start,
+        fault_plan=fault_plan,
     )
     print(f"{system.nmonomers} monomers, reference fragment "
           f"{coordinator.reference}, "
@@ -215,6 +232,8 @@ def cmd_aimd(args) -> int:
             max_retries=args.max_retries,
             task_timeout_s=args.task_timeout,
             quarantine=args.quarantine,
+            backoff_s=args.retry_backoff,
+            backoff_jitter=args.retry_jitter,
         )
         prior = None
         if resume is not None and resume.driver:
@@ -228,6 +247,8 @@ def cmd_aimd(args) -> int:
         report = run_parallel(
             coordinator, calc, nworkers=args.workers, policy=policy,
             report=prior, gemm_cache=args.gemm_cache,
+            seed=(fault_plan.derive_seed("retry-jitter")
+                  if fault_plan is not None else args.seed),
         )
         if report.retries or report.pool_restarts or report.timeouts:
             print(f"fault handling: {report.retries} retries, "
@@ -239,6 +260,14 @@ def cmd_aimd(args) -> int:
                   f"{q.error}")
     else:
         run_serial(coordinator, calc)
+    if fault_plan is not None:
+        counts = fault_plan.audit_summary()
+        if counts:
+            # serial runs (and checkpoint-site faults, injected in this
+            # process) accumulate here; worker-process audits stay with
+            # the workers
+            detail = ", ".join(f"{k} x{v}" for k, v in sorted(counts.items()))
+            print(f"fault audit: {detail}")
     t, pe, ke = coordinator.trajectory_energies()
     rep = analyze_conservation(t, pe, ke)
     tot = np.asarray(pe) + np.asarray(ke)
@@ -378,8 +407,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write crash-safe checkpoints to PATH during the run")
     p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
                    help="checkpoint every N retired steps (0 disables)")
+    p.add_argument("--checkpoint-keep", type=int, default=1, metavar="K",
+                   help="retain K checkpoint generations (PATH, PATH.1, "
+                        "...); resume falls back to the newest valid one")
     p.add_argument("--resume", metavar="PATH", default=None,
                    help="resume the trajectory from a checkpoint file")
+    p.add_argument("--fault-plan", metavar="PATH", default=None,
+                   help="inject faults from a seeded JSON fault plan "
+                        "(repro.faults.FaultPlan) for chaos testing")
+    p.add_argument("--retry-backoff", type=float, default=0.0, metavar="S",
+                   help="base retry backoff delay in seconds")
+    p.add_argument("--retry-jitter", type=float, default=0.0, metavar="F",
+                   help="jitter fraction stretching each retry delay by "
+                        "U[0,F] of itself (seeded; decorrelates retry "
+                        "storms)")
     p.add_argument("--gemm-cache", metavar="PATH", default=None,
                    help="persist GEMM autotuner winners to PATH (loaded "
                         "at startup if present, preloaded into workers, "

@@ -2,6 +2,7 @@
 
 from .aggregate import (
     AggregateResult,
+    failure_adjusted_efficiency,
     list_schedule_makespan,
     parallel_efficiency,
     simulate_workload,
@@ -9,6 +10,15 @@ from .aggregate import (
 )
 from .costmodel import PAPER_CALIBRATED, FragmentCostModel, calibrate_gemm
 from .events import ClusterSimulator, SimResult, simulate_aimd
+from .failures import (
+    CampaignResult,
+    NodeFailureModel,
+    NodeMix,
+    expected_makespan,
+    optimal_interval,
+    replay_campaign,
+    young_daly_interval,
+)
 from .machine import FRONTIER, PERLMUTTER, MachineSpec
 from .workloads import (
     WorkloadStats,
@@ -20,15 +30,23 @@ from .workloads import (
 
 __all__ = [
     "AggregateResult",
+    "CampaignResult",
     "ClusterSimulator",
     "FRONTIER",
     "FragmentCostModel",
     "MachineSpec",
+    "NodeFailureModel",
+    "NodeMix",
     "PAPER_CALIBRATED",
     "PERLMUTTER",
     "SimResult",
     "WorkloadStats",
     "calibrate_gemm",
+    "expected_makespan",
+    "failure_adjusted_efficiency",
+    "optimal_interval",
+    "replay_campaign",
+    "young_daly_interval",
     "count_polymers",
     "group_centroids",
     "list_schedule_makespan",

@@ -145,6 +145,42 @@ def strong_scaling_curve(
     ]
 
 
+def failure_adjusted_efficiency(
+    result: AggregateResult,
+    failure_model,
+    checkpoint_cost_s: float,
+    restart_cost_s: float = 0.0,
+    nsteps_total: int | None = None,
+    interval_s: float | None = None,
+) -> float:
+    """Useful-work fraction of a projected campaign under failures.
+
+    Takes a failure-free aggregate projection, stretches it over a
+    production-length campaign of ``nsteps_total`` steps (default: the
+    projection's own step count), and applies Daly's expected-makespan
+    inflation (`repro.cluster.failures.expected_makespan`) at the
+    system MTBF the failure model compounds to on this node count.
+    ``interval_s=None`` uses the Young-Daly optimal checkpoint period —
+    pass an explicit interval to see what a badly chosen one costs.
+    The returned efficiency multiplies with `parallel_efficiency`:
+    scaling out shortens the campaign but also shortens the MTBF, and
+    the product is what a real allocation delivers.
+    """
+    from .failures import expected_makespan, young_daly_interval
+
+    nsteps = nsteps_total if nsteps_total is not None else result.nsteps
+    work_s = result.time_per_step_s * nsteps
+    mtbf_s = failure_model.system_mtbf_s(result.nodes)
+    tau = (
+        interval_s if interval_s is not None
+        else young_daly_interval(mtbf_s, checkpoint_cost_s)
+    )
+    span = expected_makespan(
+        work_s, mtbf_s, tau, checkpoint_cost_s, restart_cost_s
+    )
+    return work_s / span
+
+
 def parallel_efficiency(results: list[AggregateResult]) -> list[float]:
     """Speedup relative to the smallest run, normalized by node ratio."""
     base = results[0]

@@ -44,6 +44,12 @@ class FragmentCostModel:
     k_int: float = 220.0
     #: global scale on the GEMM class (calibration knob)
     gemm_scale: float = 1.0
+    #: effective parallel-filesystem bandwidth one checkpoint writer
+    #: sees (GB/s) — Lustre/DAOS at exascale serve far more in
+    #: aggregate, but the coordinator writes serially
+    io_bandwidth_gbs: float = 2.0
+    #: fixed per-checkpoint latency: metadata, fsync, rename (seconds)
+    io_latency_s: float = 0.5
 
     def flops_by_class(self, nelectrons: int) -> dict[str, float]:
         """FLOPs per operation class for a fragment of ``nelectrons``."""
@@ -84,6 +90,18 @@ class FragmentCostModel:
         nbf = self.bf_ratio * nelectrons
         naux = self.aux_ratio * nbf
         return nbf * nbf * naux * 8.0 / 1.0e9
+
+    def checkpoint_cost_s(self, natoms: int) -> float:
+        """Time to write one trajectory checkpoint for ``natoms`` atoms.
+
+        Sized from the real format (`repro.md.checkpoint`): coordinates
+        plus velocities in float64, a 50% allowance for the energy
+        history, metadata, and checksum, through the serial-writer
+        bandwidth above.  This is the ``delta`` of the Young-Daly
+        analysis (`repro.cluster.failures`).
+        """
+        nbytes = natoms * 3 * 8 * 2 * 1.5
+        return self.io_latency_s + nbytes / (self.io_bandwidth_gbs * 1.0e9)
 
     def achieved_fraction_of_peak(self, nelectrons: int, machine: MachineSpec) -> float:
         """Counted-FLOP rate / sustained peak for one fragment.

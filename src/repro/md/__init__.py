@@ -9,6 +9,8 @@ from .checkpoint import (
     atomic_savez,
     atomic_write_bytes,
     read_checkpoint,
+    read_checkpoint_with_fallback,
+    rotation_path,
     write_checkpoint,
 )
 from .drivers import (
@@ -42,6 +44,8 @@ __all__ = [
     "atomic_savez",
     "atomic_write_bytes",
     "read_checkpoint",
+    "read_checkpoint_with_fallback",
+    "rotation_path",
     "write_checkpoint",
     "FailurePolicy",
     "FaultInjectingCalculator",

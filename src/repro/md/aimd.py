@@ -74,8 +74,10 @@ def run_aimd(
     tracer=None,
     checkpoint_path=None,
     checkpoint_every: int = 0,
+    checkpoint_keep: int = 1,
     resume: Checkpoint | None = None,
     warm_start: bool = True,
+    fault_plan=None,
 ) -> Trajectory:
     """Synchronous NVE velocity-Verlet dynamics.
 
@@ -111,6 +113,14 @@ def run_aimd(
     fragments that left the plan. The cache is never checkpointed: a
     resumed run re-converges from cold guesses, which costs iterations
     but reproduces energies to SCF convergence tolerance.
+
+    ``checkpoint_keep > 1`` retains that many rotated checkpoint copies
+    (``path.1``, ``path.2``, ...) so a corrupted latest file can be
+    survived via `read_checkpoint_with_fallback`; ``fault_plan`` (a
+    `repro.faults.FaultPlan`) schedules deterministic checkpoint
+    corruption for chaos testing — task-site faults are injected by
+    wrapping the calculator in `repro.faults.FaultPlanCalculator`
+    instead.
     """
     fragmented = isinstance(mol_or_system, FragmentedSystem)
     if warm_start and getattr(calculator, "guess_cache", "no") is None:
@@ -250,6 +260,8 @@ def run_aimd(
                 ),
             ),
             tracer=tracer,
+            keep=checkpoint_keep,
+            fault_plan=fault_plan,
         )
 
     e_pot, forces = force_fn(coords)

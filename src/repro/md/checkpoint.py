@@ -14,6 +14,14 @@ whole run.  This module provides the persistence layer:
   to a temporary file in the target directory, fsynced, and
   ``os.replace``d over the destination.  A kill at any instant leaves
   either the previous checkpoint or the new one, never a torn file.
+* **Rotated with last-good fallback** — with ``keep > 1``,
+  `write_checkpoint` shifts prior checkpoints to ``path.1``,
+  ``path.2``, ... before writing the new primary, and
+  `read_checkpoint_with_fallback` walks that chain newest-first when
+  the primary fails validation (emitting a ``ckpt.fallback`` tracer
+  instant), so even a checkpoint corrupted *after* its atomic write —
+  bit rot, a torn copy through a non-atomic transport — costs one
+  checkpoint interval of progress, not the run.
 
 A `Checkpoint` carries everything needed for *exact* continuation:
 coordinates, velocities, and time at a consistent integer step, the
@@ -146,8 +154,44 @@ def _payload_checksum(arrays: dict[str, np.ndarray]) -> str:
     return h.hexdigest()
 
 
-def write_checkpoint(path: str | Path, ckpt: Checkpoint, tracer=None) -> None:
+def rotation_path(path: str | Path, index: int) -> Path:
+    """The ``index``-th rotated copy of ``path`` (index 0 is ``path``)."""
+    path = Path(path)
+    return path if index == 0 else path.with_name(f"{path.name}.{index}")
+
+
+def _rotate_checkpoints(path: Path, keep: int) -> None:
+    """Shift ``path`` -> ``path.1`` -> ... keeping ``keep`` copies total.
+
+    Each shift is a same-directory ``os.replace`` (atomic).  Between the
+    final shift and the new primary's write the primary name is briefly
+    absent; `read_checkpoint_with_fallback` covers that window by
+    falling back to ``path.1``.
+    """
+    if keep <= 1 or not path.exists():
+        return
+    for i in range(keep - 2, 0, -1):
+        src = rotation_path(path, i)
+        if src.exists():
+            os.replace(src, rotation_path(path, i + 1))
+    os.replace(path, rotation_path(path, 1))
+
+
+def write_checkpoint(path: str | Path, ckpt: Checkpoint, tracer=None,
+                     keep: int = 1, fault_plan=None) -> None:
     """Serialize and atomically write a checkpoint.
+
+    With ``keep > 1``, previously-written checkpoints are rotated to
+    ``path.1`` ... ``path.{keep-1}`` first, so the last ``keep``
+    snapshots survive on disk for `read_checkpoint_with_fallback`.
+
+    ``fault_plan`` (a `repro.faults.FaultPlan`) is the checkpoint-site
+    chaos hook: after the write, the plan is consulted for a scheduled
+    ``ckpt_torn``/``ckpt_bitflip`` fault at this step, and the freshly
+    written primary is damaged accordingly (rotations are never
+    touched — they model corruption of the *latest* file, which is
+    exactly what the fallback chain exists for).  Emits ``fault.inject``
+    when it fires.
 
     Emits a ``checkpoint.write`` tracer instant when a tracer is given.
     """
@@ -179,12 +223,28 @@ def write_checkpoint(path: str | Path, ckpt: Checkpoint, tracer=None) -> None:
             ckpt.frame_velocities, dtype=float
         ).reshape(-1, natoms, 3)
     arrays["checksum"] = np.array(_payload_checksum(arrays))
+    path = Path(path)
+    _rotate_checkpoints(path, keep)
     atomic_savez(path, **arrays)
     if tracer:
         tracer.instant(
             "checkpoint.write", cat="checkpoint",
-            step=int(ckpt.step), path=str(path),
+            step=int(ckpt.step), path=str(path), keep=int(keep),
         )
+    if fault_plan is not None:
+        spec = fault_plan.decide("checkpoint", step=int(ckpt.step))
+        if spec is not None:
+            from ..faults.inject import corrupt_checkpoint
+
+            detail = corrupt_checkpoint(
+                path, spec.kind,
+                seed=fault_plan.derive_seed(f"ckpt:{int(ckpt.step)}"),
+            )
+            if tracer:
+                tracer.instant(
+                    "fault.inject", cat="fault", site="checkpoint",
+                    step=int(ckpt.step), **detail,
+                )
 
 
 def read_checkpoint(path: str | Path, mol=None) -> Checkpoint:
@@ -283,4 +343,52 @@ def read_checkpoint(path: str | Path, mol=None) -> Checkpoint:
         driver=meta.get("driver"),
         reference=meta.get("reference"),
         version=int(version),
+    )
+
+
+def read_checkpoint_with_fallback(
+    path: str | Path, mol=None, tracer=None,
+) -> tuple[Checkpoint, Path]:
+    """Load the newest valid checkpoint in ``path``'s rotation chain.
+
+    Tries ``path`` first, then ``path.1``, ``path.2``, ... (the copies
+    `write_checkpoint` rotates with ``keep > 1``), newest first.  The
+    first copy that passes full validation wins; if that is not the
+    primary, a ``ckpt.fallback`` tracer instant records which copy was
+    used and why each newer one was rejected.  A missing primary is
+    treated like a corrupt one — it falls back too, which also covers
+    the instant between rotation and the new primary's atomic write.
+
+    Returns:
+        ``(checkpoint, used_path)``.
+
+    Raises:
+        CheckpointError: when no copy in the chain validates; the
+            message enumerates every candidate and its failure.
+    """
+    primary = Path(path)
+    candidates = [primary]
+    i = 1
+    while rotation_path(primary, i).exists():
+        candidates.append(rotation_path(primary, i))
+        i += 1
+    failures: list[tuple[Path, str]] = []
+    for cand in candidates:
+        try:
+            ckpt = read_checkpoint(cand, mol=mol)
+        except CheckpointError as err:
+            failures.append((cand, str(err)))
+            continue
+        if failures and tracer:
+            tracer.instant(
+                "ckpt.fallback", cat="checkpoint", step=int(ckpt.step),
+                path=str(cand),
+                rejected=[str(p) for p, _ in failures],
+                reasons=[msg for _, msg in failures],
+            )
+        return ckpt, cand
+    detail = "; ".join(f"{p}: {msg}" for p, msg in failures)
+    raise CheckpointError(
+        f"no valid checkpoint in rotation chain of {primary} "
+        f"({len(failures)} candidate(s) rejected): {detail}"
     )

@@ -71,10 +71,22 @@ class FailurePolicy:
     task_timeout_s: float | None = None
     #: exhausted tasks: True -> quarantine and keep going, False -> raise
     quarantine: bool = False
+    #: jitter fraction: each delay is stretched by U[0, jitter] of itself
+    #: (decorrelates retry storms). Drawn from the *seeded* per-run RNG
+    #: `run_parallel` owns, so chaos runs replay their exact schedule.
+    backoff_jitter: float = 0.0
 
-    def backoff(self, attempt: int) -> float:
-        """Delay before dispatching ``attempt`` (attempt 1 = first retry)."""
-        return self.backoff_s * self.backoff_factor ** max(attempt - 1, 0)
+    def backoff(self, attempt: int, rng=None) -> float:
+        """Delay before dispatching ``attempt`` (attempt 1 = first retry).
+
+        ``rng`` (a `random.Random`) supplies the jitter draw; without
+        one — or with ``backoff_jitter=0`` — the schedule is the bare
+        exponential.
+        """
+        delay = self.backoff_s * self.backoff_factor ** max(attempt - 1, 0)
+        if rng is not None and self.backoff_jitter > 0.0:
+            delay *= 1.0 + self.backoff_jitter * rng.random()
+        return delay
 
 
 @dataclass
@@ -176,8 +188,13 @@ _WORKER_GEMM_LOADED: set[str] = set()
 
 
 def _evaluate(calculator, molecule, attempt: int, warm_start: bool = False,
-              gemm_cache: str | None = None):
-    """Worker-side entry point; forwards the attempt number if supported.
+              gemm_cache: str | None = None, step: int = 0):
+    """Worker-side entry point; forwards attempt/step if supported.
+
+    ``accepts_attempt`` calculators receive the retry attempt number;
+    ``accepts_step`` calculators (the fault-plan wrapper) additionally
+    receive the MD step, so scheduled faults can target "fragment K at
+    step S" regardless of which worker draws the task.
 
     With ``warm_start``, the process-local `GuessCache` is attached to
     the (worker's copy of the) calculator before evaluation, so
@@ -216,10 +233,12 @@ def _evaluate(calculator, molecule, attempt: int, warm_start: bool = False,
                 GLOBAL_TUNER.load(gemm_cache)
             except ValueError:
                 pass  # a corrupt table costs re-tuning, never the run
+    kwargs = {}
     if getattr(calculator, "accepts_attempt", False):
-        e, g = calculator.energy_gradient(molecule, attempt=attempt)
-    else:
-        e, g = calculator.energy_gradient(molecule)
+        kwargs["attempt"] = attempt
+    if getattr(calculator, "accepts_step", False):
+        kwargs["step"] = step
+    e, g = calculator.energy_gradient(molecule, **kwargs)
     ensure_finite(
         f"worker result for {getattr(molecule, 'natoms', '?')}-atom "
         f"fragment (attempt {attempt})",
@@ -248,6 +267,7 @@ def run_parallel(
     mp_start: str = "fork",
     report: DriverReport | None = None,
     gemm_cache: str | None = None,
+    seed: int | None = None,
 ) -> DriverReport:
     """Drive a coordinator to completion with a fault-tolerant pool.
 
@@ -266,8 +286,17 @@ def run_parallel(
     `repro.gemm.autotune.GemmAutoTuner.save`) preloaded once into each
     worker process's tuner, so rebuilt pools and fresh runs skip the
     per-shape trial phase.
+
+    ``seed`` pins the per-run RNG behind ``policy.backoff_jitter``:
+    with a seed, the retry-delay schedule — and hence the
+    `DriverReport` counters of a chaos run — is exactly reproducible.
+    Typically derived from the fault plan
+    (``plan.derive_seed("retry-jitter")``) or the CLI ``--seed``.
     """
+    import random
+
     policy = policy or FailurePolicy()
+    jitter_rng = random.Random(seed)
     if tracer is None:
         tracer = coordinator.tracer
     report = report if report is not None else DriverReport()
@@ -310,14 +339,14 @@ def run_parallel(
         try:
             fut = pool.submit(
                 _evaluate, calculator, task.molecule, attempt, warm_start,
-                gemm_cache,
+                gemm_cache, task.step,
             )
         except (BrokenProcessPool, RuntimeError):
             # the pool died between completions; rebuild and resubmit
             restart_pool()
             fut = pool.submit(
                 _evaluate, calculator, task.molecule, attempt, warm_start,
-                gemm_cache,
+                gemm_cache, task.step,
             )
         deadline = (
             now + policy.task_timeout_s if policy.task_timeout_s else None
@@ -343,7 +372,7 @@ def run_parallel(
                     "task.retry", cat="driver", step=task.step,
                     key=str(task.key), attempt=attempt, error=repr(err),
                 )
-            ready = time.monotonic() + policy.backoff(attempt)
+            ready = time.monotonic() + policy.backoff(attempt, jitter_rng)
             retry_queue.append((ready, task, attempt))
         elif policy.quarantine:
             report.quarantined.append(

@@ -100,8 +100,10 @@ class AsyncCoordinator:
         deterministic: bool = False,
         checkpoint_path=None,
         checkpoint_every: int = 0,
+        checkpoint_keep: int = 1,
         resume: Checkpoint | None = None,
         warm_start: bool = True,
+        fault_plan=None,
     ) -> None:
         self.system = system
         self.nsteps = nsteps
@@ -119,6 +121,12 @@ class AsyncCoordinator:
         #: ``checkpoint_every``
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
+        #: rotated copies retained per `repro.md.checkpoint` (keep-N)
+        self.checkpoint_keep = max(1, int(checkpoint_keep))
+        #: seeded chaos schedule (`repro.faults.FaultPlan`): consulted at
+        #: checkpoint-write sites here; task-site injection lives in the
+        #: calculator wrapper (`repro.faults.FaultPlanCalculator`)
+        self.fault_plan = fault_plan
         #: set by `run_parallel` so checkpoints carry fault counters
         self.driver_report = None
         #: optional `repro.trace.Tracer` (duck-typed); every emission is
@@ -571,6 +579,8 @@ class AsyncCoordinator:
                 reference=int(self.reference),
             ),
             tracer=self.tracer,
+            keep=self.checkpoint_keep,
+            fault_plan=self.fault_plan,
         )
 
     @property
@@ -713,6 +723,12 @@ def run_serial(coordinator: AsyncCoordinator, calculator, tracer=None) -> None:
     the calculator (when it supports them and has none of its own), so
     per-fragment densities persist across steps and SCF recovery /
     warm-start events reach the trace.
+
+    Attempt/step forwarding matches the parallel driver's worker entry
+    point: ``accepts_attempt`` calculators get ``attempt=0`` (a serial
+    driver never retries), ``accepts_step`` calculators (the fault-plan
+    wrapper) get the task's MD step, so the same fault plan targets the
+    same events under either driver.
     """
     if tracer is None:
         tracer = coordinator.tracer
@@ -721,6 +737,15 @@ def run_serial(coordinator: AsyncCoordinator, calculator, tracer=None) -> None:
         calculator.guess_cache = cache
     if tracer is not None and getattr(calculator, "tracer", "no") is None:
         calculator.tracer = tracer
+
+    def evaluate(task):
+        kwargs = {}
+        if getattr(calculator, "accepts_attempt", False):
+            kwargs["attempt"] = 0
+        if getattr(calculator, "accepts_step", False):
+            kwargs["step"] = task.step
+        return calculator.energy_gradient(task.molecule, **kwargs)
+
     while not coordinator.done():
         task = coordinator.next_task()
         if task is None:
@@ -731,9 +756,9 @@ def run_serial(coordinator: AsyncCoordinator, calculator, tracer=None) -> None:
         if tracer:
             with tracer.span("task.exec", cat="driver",
                              step=task.step, key=str(task.key)):
-                e, g = calculator.energy_gradient(task.molecule)
+                e, g = evaluate(task)
         else:
-            e, g = calculator.energy_gradient(task.molecule)
+            e, g = evaluate(task)
         # divergence sentinel: a NaN contribution would silently poison
         # the accumulated MBE gradient of every atom the polymer touches
         ensure_finite(

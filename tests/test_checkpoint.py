@@ -25,7 +25,9 @@ from repro.md import (
     atomic_savez,
     load_restart,
     read_checkpoint,
+    read_checkpoint_with_fallback,
     read_trajectory_xyz,
+    rotation_path,
     run_aimd,
     run_parallel,
     run_serial,
@@ -465,3 +467,142 @@ class TestCliResume:
             return lines[-1]
 
         assert final_energy(full_out) == final_energy(resumed_out)
+
+
+class TestRotationAndFallback:
+    """keep-N rotation plus last-good fallback under every corruption
+    mode the chaos engine injects (ISSUE satellite: corrupted-checkpoint
+    coverage)."""
+
+    def _write_generations(self, tmp_path, mol, steps, keep=3):
+        path = tmp_path / "ck.npz"
+        for s in steps:
+            ck = _full_checkpoint(mol)
+            ck.step = s
+            write_checkpoint(path, ck, keep=keep)
+        return path
+
+    def test_rotation_chain_keeps_newest_n(self, tmp_path):
+        mol = water_cluster(2, seed=1)
+        path = self._write_generations(tmp_path, mol, [1, 2, 3, 4], keep=3)
+        assert read_checkpoint(path).step == 4
+        assert read_checkpoint(rotation_path(path, 1)).step == 3
+        assert read_checkpoint(rotation_path(path, 2)).step == 2
+        assert not rotation_path(path, 3).exists()  # oldest dropped
+
+    def test_keep_one_leaves_no_rotations(self, tmp_path):
+        mol = water_cluster(2, seed=1)
+        path = self._write_generations(tmp_path, mol, [1, 2], keep=1)
+        assert read_checkpoint(path).step == 2
+        assert not rotation_path(path, 1).exists()
+
+    def test_fallback_prefers_valid_primary(self, tmp_path):
+        mol = water_cluster(2, seed=1)
+        path = self._write_generations(tmp_path, mol, [1, 2])
+        ck, used = read_checkpoint_with_fallback(path, mol=mol)
+        assert used == path and ck.step == 2
+
+    @pytest.mark.parametrize("kind", ["ckpt_torn", "ckpt_bitflip"])
+    def test_fallback_after_injected_corruption(self, tmp_path, kind):
+        from repro.faults import corrupt_checkpoint
+        from repro.trace import Tracer
+
+        mol = water_cluster(2, seed=1)
+        path = self._write_generations(tmp_path, mol, [1, 2])
+        corrupt_checkpoint(path, kind, seed=3)
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path, mol=mol)  # typed, never silent
+        tracer = Tracer()
+        ck, used = read_checkpoint_with_fallback(
+            path, mol=mol, tracer=tracer
+        )
+        assert used == rotation_path(path, 1)
+        assert ck.step == 1
+        falls = [e for e in tracer.events if e.get("name") == "ckpt.fallback"]
+        assert falls and str(path) in str(falls[0])
+
+    def test_fallback_after_truncation_to_garbage(self, tmp_path):
+        mol = water_cluster(2, seed=1)
+        path = self._write_generations(tmp_path, mol, [1, 2])
+        path.write_bytes(path.read_bytes()[:40])
+        ck, used = read_checkpoint_with_fallback(path, mol=mol)
+        assert used == rotation_path(path, 1) and ck.step == 1
+
+    def test_fallback_after_bad_version(self, tmp_path):
+        mol = water_cluster(2, seed=1)
+        path = self._write_generations(tmp_path, mol, [1, 2])
+        bad = _full_checkpoint(mol)
+        bad.step = 9
+        bad.version = 99
+        write_checkpoint(path, bad)  # overwrites primary, keeps .1
+        with pytest.raises(CheckpointError, match="format version"):
+            read_checkpoint(path, mol=mol)
+        ck, used = read_checkpoint_with_fallback(path, mol=mol)
+        assert used == rotation_path(path, 1) and ck.step == 1
+
+    def test_fallback_after_stale_checksum(self, tmp_path):
+        """Payload edited without refreshing the checksum — the stale
+        digest must fail verification and fall back."""
+        mol = water_cluster(2, seed=1)
+        path = self._write_generations(tmp_path, mol, [1, 2])
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["coords"] = np.array(arrays["coords"]) + 1.0
+        atomic_savez(path, **arrays)  # keeps the old checksum array
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(path, mol=mol)
+        ck, used = read_checkpoint_with_fallback(path, mol=mol)
+        assert used == rotation_path(path, 1) and ck.step == 1
+
+    def test_missing_primary_falls_back(self, tmp_path):
+        """Covers the instant between rotation and the new primary's
+        atomic write."""
+        mol = water_cluster(2, seed=1)
+        path = self._write_generations(tmp_path, mol, [1, 2])
+        os.unlink(path)
+        ck, used = read_checkpoint_with_fallback(path, mol=mol)
+        assert used == rotation_path(path, 1) and ck.step == 1
+
+    def test_whole_chain_corrupt_enumerates_failures(self, tmp_path):
+        from repro.faults import corrupt_checkpoint
+
+        mol = water_cluster(2, seed=1)
+        path = self._write_generations(tmp_path, mol, [1, 2])
+        corrupt_checkpoint(path, "ckpt_torn", seed=0)
+        corrupt_checkpoint(rotation_path(path, 1), "ckpt_bitflip", seed=0)
+        with pytest.raises(CheckpointError, match="no valid checkpoint"):
+            read_checkpoint_with_fallback(path, mol=mol)
+
+    def test_fault_plan_corrupts_only_the_primary(self, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.trace import Tracer
+
+        mol = water_cluster(2, seed=1)
+        path = tmp_path / "ck.npz"
+        plan = FaultPlan(seed=5, specs=[FaultSpec(kind="ckpt_torn", step=8)])
+        tracer = Tracer()
+        for s in [4, 8]:
+            ck = _full_checkpoint(mol)
+            ck.step = s
+            write_checkpoint(path, ck, tracer=tracer, keep=2,
+                             fault_plan=plan)
+        assert any(e.get("name") == "fault.inject" for e in tracer.events)
+        assert plan.audit_summary() == {"ckpt_torn": 1}
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path, mol=mol)
+        ck, used = read_checkpoint_with_fallback(path, mol=mol)
+        assert used == rotation_path(path, 1) and ck.step == 4
+
+    def test_corruption_is_seed_deterministic(self, tmp_path):
+        from repro.faults import corrupt_checkpoint
+
+        mol = water_cluster(2, seed=1)
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        for p in (a, b):
+            write_checkpoint(p, _full_checkpoint(mol))
+        da = corrupt_checkpoint(a, "ckpt_bitflip", seed=11)
+        db = corrupt_checkpoint(b, "ckpt_bitflip", seed=11)
+        assert da["offset"] == db["offset"] and da["bit"] == db["bit"]
+        assert a.read_bytes() == b.read_bytes()
+        assert corrupt_checkpoint(a, "ckpt_torn", seed=1)["cut"] != 0
