@@ -221,6 +221,8 @@ def cmd_aimd(args) -> int:
         resume=resume,
         warm_start=not args.no_warm_start,
         fault_plan=fault_plan,
+        mts_k=args.mts_k,
+        mts_extrapolate=args.mts_extrapolate,
     )
     print(f"{system.nmonomers} monomers, reference fragment "
           f"{coordinator.reference}, "
@@ -276,6 +278,12 @@ def cmd_aimd(args) -> int:
           f"{args.steps} steps")
     print(f"total energy drift: {rep.drift_hartree_per_fs:.2e} Ha/fs, "
           f"RMS fluctuation: {rep.rms_fluctuation_kjmol:.4f} kJ/mol")
+    if coordinator.mts:
+        print(f"mts: k={coordinator.mts_k}"
+              f"{' (extrapolated)' if coordinator.mts_extrapolate else ''}, "
+              f"{coordinator.mts_slow_evals} slow-tier evaluations, "
+              f"{coordinator.mts_tasks_skipped} inner-step polymer tasks "
+              f"skipped")
     if coordinator.replans_incremental:
         print(f"incremental replans: {coordinator.replans_incremental} "
               f"({coordinator.replan_reused} polymers reused, "
@@ -382,6 +390,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="molecules per monomer")
     p.add_argument("--sync", action="store_true",
                    help="synchronous stepping (global barrier)")
+    p.add_argument("--mts-k", type=int, default=1, metavar="K",
+                   help="r-RESPA multiple-time-step factor: evaluate the "
+                        "slow MBE tier (dimer/trimer corrections) every K "
+                        "steps and apply it as outer-boundary impulses; "
+                        "monomers run every step [default 1 = off]")
+    p.add_argument("--mts-extrapolate", action="store_true",
+                   help="apply a linearly extrapolated slow-tier force "
+                        "inside every inner step instead of boundary "
+                        "impulses (smoother at large K, only "
+                        "approximately reversible)")
     p.add_argument("--surrogate", action="store_true",
                    help="classical surrogate potential instead of RI-MP2")
     p.add_argument("--seed", type=int, default=0)

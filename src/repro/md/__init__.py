@@ -23,12 +23,14 @@ from .drivers import (
     run_parallel,
 )
 from .integrators import (
+    default_ndof,
     fs_to_au,
     instantaneous_temperature,
     kinetic_energy,
     maxwell_boltzmann_velocities,
     verlet_step,
 )
+from .mts import SlowTierState, TieredMBEForces, slow_tier_items
 from .scheduler import AsyncCoordinator, FragmentStub, PolymerTask, run_serial
 from .thermostats import BerendsenThermostat, LangevinThermostat
 from .trajio import load_restart, read_trajectory_xyz, save_restart, write_trajectory_xyz
@@ -59,7 +61,10 @@ __all__ = [
     "save_restart",
     "write_trajectory_xyz",
     "PolymerTask",
+    "SlowTierState",
+    "TieredMBEForces",
     "Trajectory",
+    "default_ndof",
     "fs_to_au",
     "instantaneous_temperature",
     "kinetic_energy",
@@ -67,5 +72,6 @@ __all__ = [
     "run_aimd",
     "run_parallel",
     "run_serial",
+    "slow_tier_items",
     "verlet_step",
 ]

@@ -23,6 +23,7 @@ from .integrators import (
     maxwell_boltzmann_velocities,
     verlet_step,
 )
+from .mts import SlowTierState, TieredMBEForces
 
 
 @dataclass
@@ -78,6 +79,8 @@ def run_aimd(
     resume: Checkpoint | None = None,
     warm_start: bool = True,
     fault_plan=None,
+    mts_k: int = 1,
+    mts_extrapolate: bool = False,
 ) -> Trajectory:
     """Synchronous NVE velocity-Verlet dynamics.
 
@@ -121,14 +124,40 @@ def run_aimd(
     corruption for chaos testing — task-site faults are injected by
     wrapping the calculator in `repro.faults.FaultPlanCalculator`
     instead.
+
+    ``mts_k > 1`` switches fragmented runs to r-RESPA multiple-time-step
+    integration (`repro.md.mts`): monomer forces (the fast tier) are
+    evaluated every step, the dimer/trimer correction tier only every
+    ``mts_k`` steps and applied as impulse half-kicks at the outer
+    boundaries (or, with ``mts_extrapolate=True``, as a linearly
+    extrapolated force inside every inner step).  The reported potential
+    energy at inner steps is ``fast + held/extrapolated slow`` — exact
+    at outer boundaries, which is where energy conservation should be
+    measured.  Checkpoints then carry the slow-tier state, so resume —
+    including from mid-cycle — continues the exact impulse pattern.
     """
     fragmented = isinstance(mol_or_system, FragmentedSystem)
+    mts_k = max(1, int(mts_k))
+    mts = mts_k > 1
+    if mts and not fragmented:
+        raise ValueError(
+            "multiple-time-step integration (mts_k > 1) requires a "
+            "FragmentedSystem: the tier split is across MBE orders"
+        )
+    if mts and smooth_switching:
+        raise ValueError(
+            "multiple-time-step integration is not supported together "
+            "with smooth_switching"
+        )
     if warm_start and getattr(calculator, "guess_cache", "no") is None:
         from ..calculators import GuessCache
 
         calculator.guess_cache = GuessCache()
     if tracer is not None and getattr(calculator, "tracer", "no") is None:
         calculator.tracer = tracer
+    if tracer is not None and getattr(thermostat, "tracer", "no") is None:
+        # thermostat diagnostics (e.g. the Berendsen clamp instant)
+        thermostat.tracer = tracer
     parent = mol_or_system.parent if fragmented else mol_or_system
     masses = parent.masses_au
     dt = fs_to_au(dt_fs)
@@ -160,6 +189,35 @@ def run_aimd(
             thermostat.load_state_dict(resume.thermostat)
         if tracer:
             tracer.instant("resume", cat="checkpoint", step=start_step)
+
+    slow = None
+    if mts:
+        if resume is not None and resume.mts is not None:
+            meta = resume.mts
+            if int(meta["k"]) != mts_k or bool(meta["extrapolate"]) != bool(
+                mts_extrapolate
+            ):
+                raise CheckpointError(
+                    f"checkpoint MTS state (k={meta['k']}, "
+                    f"extrapolate={meta['extrapolate']}) does not match "
+                    f"the run (k={mts_k}, extrapolate={mts_extrapolate})"
+                )
+            slow = SlowTierState.from_state(
+                meta, resume.mts_slow_forces, resume.mts_slow_forces_prev
+            )
+        else:
+            if start_step % mts_k != 0:
+                raise CheckpointError(
+                    f"checkpoint step {start_step} is inside an outer "
+                    f"cycle (mts_k={mts_k}) but carries no MTS state; "
+                    "the held slow forces cannot be reconstructed"
+                )
+            slow = SlowTierState(k=mts_k, extrapolate=bool(mts_extrapolate))
+    elif resume is not None and resume.mts is not None:
+        raise CheckpointError(
+            "checkpoint carries MTS integrator state "
+            f"(k={resume.mts.get('k')}); resume with the same mts_k"
+        )
 
     plan = None
 
@@ -258,11 +316,96 @@ def run_aimd(
                     and hasattr(thermostat, "state_dict")
                     else None
                 ),
+                mts=slow.state_dict() if mts else None,
+                mts_slow_forces=slow.forces if mts else None,
+                mts_slow_forces_prev=slow.forces_prev if mts else None,
             ),
             tracer=tracer,
             keep=checkpoint_keep,
             fault_plan=fault_plan,
         )
+
+    if mts:
+        tiers = TieredMBEForces(mol_or_system, calculator)
+
+        def fast_force(c: np.ndarray) -> tuple[float, np.ndarray]:
+            e, g = tiers.fast(c)
+            f = -g
+            ensure_finite("MTS fast-tier force evaluation", energy=e, forces=f)
+            return e, f
+
+        def eval_slow(c: np.ndarray, at_step: int) -> None:
+            """Fresh slow-tier evaluation at an outer boundary.
+
+            Reuses the monomer solves of the fast-tier call just made at
+            the same coordinates, so a boundary costs only the polymer
+            (dimer/trimer) solves on top of an inner step.
+            """
+            tiers.plan = plan
+            e_s, g_s = tiers.slow(c)
+            f_s = -g_s
+            ensure_finite("MTS slow-tier force evaluation", energy=e_s, forces=f_s)
+            slow.push(at_step, f_s, e_s)
+            if tracer:
+                tracer.instant("mts.slow_eval", cat="md", step=at_step)
+
+        k_dt = mts_k * dt
+        e_fast, f_fast = fast_force(coords)
+        if slow.step < 0:
+            # fresh start (or resume of a pre-MTS checkpoint at an outer
+            # boundary): evaluate the slow tier at the initial geometry
+            if plan is None:
+                replan(coords, start_step)
+            eval_slow(coords, start_step)
+        step = start_step
+        while True:
+            e_slow_est, _ = slow.estimate(step)
+            if step > start_step or resume is None:
+                traj.times_fs.append(step * dt_fs)
+                traj.potential.append(e_fast + e_slow_est)
+                traj.kinetic.append(kinetic_energy(masses, velocities))
+                traj.coords.append(coords.copy())
+                traj.velocities.append(velocities.copy())
+            maybe_checkpoint(step)
+            if step == nsteps:
+                break
+            if replan_interval and step % replan_interval == 0:
+                replan(coords, step)
+            t0 = time.perf_counter()
+            if not mts_extrapolate and step % mts_k == 0:
+                # opening half-impulse of the outer cycle (r-RESPA kick)
+                velocities = (
+                    velocities + 0.5 * k_dt * slow.forces / masses[:, None]
+                )
+            if mts_extrapolate:
+                # velocity Verlet under fast + extrapolated slow force;
+                # the arrival half-kick at a boundary uses the *fresh*
+                # slow force evaluated there
+                _, f_s0 = slow.estimate(step)
+                acc = (f_fast + f_s0) / masses[:, None]
+                coords = coords + velocities * dt + 0.5 * acc * dt**2
+                e_fast, f_fast = fast_force(coords)
+                if (step + 1) % mts_k == 0:
+                    eval_slow(coords, step + 1)
+                _, f_s1 = slow.estimate(step + 1)
+                acc_new = (f_fast + f_s1) / masses[:, None]
+                velocities = velocities + 0.5 * (acc + acc_new) * dt
+            else:
+                coords, velocities, f_fast, e_fast = verlet_step(
+                    coords, velocities, f_fast, masses, dt, fast_force
+                )
+                if (step + 1) % mts_k == 0:
+                    eval_slow(coords, step + 1)
+                    # closing half-impulse with the fresh slow force
+                    velocities = (
+                        velocities
+                        + 0.5 * k_dt * slow.forces / masses[:, None]
+                    )
+            if thermostat is not None:
+                velocities = thermostat.apply(velocities, masses, dt_fs)
+            traj.wall_times.append(time.perf_counter() - t0)
+            step += 1
+        return traj
 
     e_pot, forces = force_fn(coords)
     for step in range(start_step, nsteps + 1):

@@ -27,7 +27,10 @@ A `Checkpoint` carries everything needed for *exact* continuation:
 coordinates, velocities, and time at a consistent integer step, the
 per-step energy history up to that step (and, for the synchronous
 driver, full frame history), thermostat state including its RNG stream,
-and the fault-tolerance `DriverReport` counters accumulated so far.
+the fault-tolerance `DriverReport` counters accumulated so far, and —
+for multiple-time-step runs — the r-RESPA slow-tier state (held slow
+forces and extrapolation history; see `repro.md.mts`), which cannot be
+recomputed from the resumed coordinates alone.
 With the coordinator's deterministic-reduction mode the resumed
 trajectory is bitwise identical to an uninterrupted one.
 
@@ -54,7 +57,11 @@ import numpy as np
 
 #: file-format identity: readers refuse anything else
 CHECKPOINT_MAGIC = "repro-aimd-checkpoint"
-CHECKPOINT_VERSION = 1
+#: version 2 added the optional multiple-time-step (r-RESPA) block:
+#: an ``mts`` metadata dict plus held slow-tier force arrays. Version-1
+#: files remain readable (the block is simply absent).
+CHECKPOINT_VERSION = 2
+CHECKPOINT_READABLE_VERSIONS = (1, 2)
 
 
 class CheckpointError(RuntimeError):
@@ -91,6 +98,14 @@ class Checkpoint:
     #: scheduler reference monomer (preserved so a resumed async run
     #: replays the same task priority order)
     reference: int | None = None
+    #: multiple-time-step (r-RESPA) integrator state: the
+    #: `repro.md.mts.SlowTierState` metadata (k, extrapolate, boundary
+    #: steps, slow energies) — ``None`` for single-timescale runs
+    mts: dict | None = None
+    #: held slow-tier forces at the current / previous outer boundary
+    #: (the extrapolation history); cannot be recomputed on resume
+    mts_slow_forces: np.ndarray | None = None
+    mts_slow_forces_prev: np.ndarray | None = None
     version: int = CHECKPOINT_VERSION
 
 
@@ -206,6 +221,10 @@ def write_checkpoint(path: str | Path, ckpt: Checkpoint, tracer=None,
         "driver": ckpt.driver,
         "reference": ckpt.reference,
     }
+    if ckpt.mts is not None:
+        # only MTS runs carry the key, so plain checkpoints stay
+        # byte-identical to the version-1 layout
+        meta["mts"] = ckpt.mts
     arrays: dict[str, np.ndarray] = {
         "coords": np.asarray(ckpt.coords, dtype=float),
         "velocities": np.asarray(ckpt.velocities, dtype=float),
@@ -214,6 +233,14 @@ def write_checkpoint(path: str | Path, ckpt: Checkpoint, tracer=None,
         "kinetic": np.asarray(ckpt.kinetic, dtype=float),
         "meta": np.array(json.dumps(meta)),
     }
+    if ckpt.mts_slow_forces is not None:
+        arrays["mts_slow_forces"] = np.asarray(
+            ckpt.mts_slow_forces, dtype=float
+        )
+    if ckpt.mts_slow_forces_prev is not None:
+        arrays["mts_slow_forces_prev"] = np.asarray(
+            ckpt.mts_slow_forces_prev, dtype=float
+        )
     natoms = arrays["coords"].shape[0]
     if ckpt.frame_coords is not None and len(ckpt.frame_coords):
         arrays["frame_coords"] = np.asarray(
@@ -292,10 +319,10 @@ def read_checkpoint(path: str | Path, mol=None) -> Checkpoint:
             f"(magic={meta.get('magic')!r})"
         )
     version = meta.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in CHECKPOINT_READABLE_VERSIONS:
         raise CheckpointError(
             f"checkpoint {path} has format version {version}; "
-            f"this build reads version {CHECKPOINT_VERSION}"
+            f"this build reads versions {CHECKPOINT_READABLE_VERSIONS}"
         )
     required = ("coords", "velocities", "times_fs", "potential", "kinetic")
     missing = [k for k in required if k not in payload]
@@ -342,6 +369,9 @@ def read_checkpoint(path: str | Path, mol=None) -> Checkpoint:
         thermostat=meta.get("thermostat"),
         driver=meta.get("driver"),
         reference=meta.get("reference"),
+        mts=meta.get("mts"),
+        mts_slow_forces=payload.get("mts_slow_forces"),
+        mts_slow_forces_prev=payload.get("mts_slow_forces_prev"),
         version=int(version),
     )
 

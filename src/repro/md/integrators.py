@@ -7,18 +7,51 @@ import numpy as np
 from ..constants import AU_TIME_PER_FS, KB_HARTREE_PER_K
 
 
+def default_ndof(natoms: int, com_removed: bool = True) -> int:
+    """Kinetic degrees of freedom of ``natoms`` point masses.
+
+    With the center-of-mass motion removed (the state every velocity
+    field in this package is prepared in — see
+    `maxwell_boltzmann_velocities`) three translational degrees of
+    freedom carry no kinetic energy, so the temperature divisor is
+    ``3N - 3``.  A single atom with its center of mass removed has no
+    kinetic degrees of freedom at all; we return ``3`` there so callers
+    never divide by zero (its kinetic energy is identically zero
+    anyway).
+    """
+    n = 3 * natoms
+    if com_removed and natoms > 1:
+        n -= 3
+    return max(n, 3)
+
+
 def maxwell_boltzmann_velocities(
     masses_au: np.ndarray, temperature_k: float, seed: int = 0
 ) -> np.ndarray:
     """Initial velocities (Bohr / a.u. time) at a target temperature with
-    the center-of-mass drift removed."""
+    the center-of-mass drift removed.
+
+    Removing the center-of-mass momentum lowers the kinetic energy of
+    the sampled velocities (three degrees of freedom are projected
+    out), so the raw draw would start the system below the requested
+    temperature — by a factor of up to ``(3N-3)/3N``, worst for small
+    fragments.  The velocities are therefore rescaled after drift
+    removal so the instantaneous kinetic temperature over the remaining
+    ``3N - 3`` degrees of freedom equals ``temperature_k`` exactly.
+    """
     rng = np.random.default_rng(seed)
     natoms = masses_au.shape[0]
     sigma = np.sqrt(KB_HARTREE_PER_K * temperature_k / masses_au)
     v = rng.standard_normal((natoms, 3)) * sigma[:, None]
+    if natoms == 1 or temperature_k <= 0:
+        return v
     # remove center-of-mass motion
     p = (v * masses_au[:, None]).sum(axis=0)
     v -= p[None, :] / masses_au.sum()
+    # rescale to the exact target over the surviving 3N-3 DOF
+    t_now = instantaneous_temperature(masses_au, v)
+    if t_now > 0:
+        v *= np.sqrt(temperature_k / t_now)
     return v
 
 
@@ -27,10 +60,23 @@ def kinetic_energy(masses_au: np.ndarray, velocities: np.ndarray) -> float:
     return 0.5 * float(np.sum(masses_au[:, None] * velocities**2))
 
 
-def instantaneous_temperature(masses_au: np.ndarray, velocities: np.ndarray) -> float:
-    """Kinetic temperature in Kelvin (3N degrees of freedom)."""
+def instantaneous_temperature(
+    masses_au: np.ndarray, velocities: np.ndarray, ndof: int | None = None
+) -> float:
+    """Kinetic temperature in Kelvin.
+
+    ``ndof`` defaults to ``3N - 3``: every velocity field produced by
+    this package has its center-of-mass motion removed
+    (`maxwell_boltzmann_velocities`), so three degrees of freedom carry
+    no kinetic energy and dividing by ``3N`` would systematically
+    under-report the temperature (by 33% for a 3-atom fragment).  Pass
+    ``ndof=3 * natoms`` explicitly for velocity fields that do carry
+    center-of-mass motion, or another value when constraints remove
+    additional degrees of freedom.
+    """
     ke = kinetic_energy(masses_au, velocities)
-    ndof = 3 * masses_au.shape[0]
+    if ndof is None:
+        ndof = default_ndof(masses_au.shape[0])
     return 2.0 * ke / (ndof * KB_HARTREE_PER_K)
 
 

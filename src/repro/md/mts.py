@@ -1,0 +1,253 @@
+"""r-RESPA multiple-time-step force tiers over the many-body expansion.
+
+The MBE force splits naturally across timescales (Luehr, Markland &
+Martínez, arXiv:1312.1284): the monomer self-energies are cheap and
+carry the fast intramolecular motion, while the dimer/trimer correction
+tier is expensive (it dominates the paper's per-step cost) and varies on
+the slower intermolecular timescale.  r-RESPA exploits the split with an
+impulse ("kick — k inner Verlet steps — kick") integrator:
+
+* **fast tier** — every monomer at coefficient +1, evaluated every inner
+  step of length ``dt``;
+* **slow tier** — the remainder of the MBE (polymers at their plan
+  coefficients, monomers at ``c_m - 1``), evaluated every ``k`` steps
+  and applied as half-impulses of ``k*dt/2`` at the outer boundaries.
+
+``fast + slow`` sums to the exact MBE by construction — monomers whose
+inclusion-exclusion coefficient is not one (or is zero, so they are
+absent from ``plan.fragments`` entirely) still enter the fast tier at
++1, and the slow tier carries the ``c_m - 1`` correction.
+
+The impulse splitting is symplectic and time-reversible (each tier's
+propagator is, and the composition is symmetric), so the energy drift
+stays bounded like plain velocity Verlet as long as ``k*dt`` stays below
+resonance with the fastest fast-tier period.  The optional *extrapolate*
+mode instead applies a linearly-extrapolated slow force inside every
+inner step (no impulses); it is only approximately reversible but
+smooths the boundary impulses, which helps at larger ``k``.
+
+`SlowTierState` is the integrator's between-boundary memory — the held
+slow forces and the one-deep history the extrapolation needs — and is
+exactly what the checkpoint format round-trips so a ``--deterministic
+--resume`` through (or inside) an outer cycle is bitwise-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..frag.mbe import MBEPlan
+from ..frag.monomer import FragmentedSystem
+
+#: coefficients smaller than this are treated as exactly cancelled
+_COEF_EPS = 1e-12
+
+
+def slow_tier_items(
+    plan: MBEPlan, nmonomers: int
+) -> list[tuple[tuple[int, ...], float]]:
+    """The slow tier as ``(fragment key, coefficient)`` pairs.
+
+    Polymers enter at their plan coefficient; monomers enter at
+    ``c_m - 1`` (the correction left over after the fast tier took every
+    monomer at +1).  Monomers with coefficient zero are absent from
+    ``plan.fragments`` but still carry a ``-1`` correction here —
+    ``build_plan`` seeds every monomer key, so the lookup never misses.
+    """
+    items: list[tuple[tuple[int, ...], float]] = []
+    for m in range(nmonomers):
+        cm = plan.coefficients.get((m,), 0.0) - 1.0
+        if abs(cm) > _COEF_EPS:
+            items.append(((m,), cm))
+    for key in plan.fragments:
+        if len(key) > 1:
+            items.append((key, plan.coefficients[key]))
+    return items
+
+
+class TieredMBEForces:
+    """Evaluate the MBE energy/gradient split into fast and slow tiers.
+
+    Used by the synchronous driver (`repro.md.aimd.run_aimd`); the
+    asynchronous coordinator implements the same split task-by-task
+    through its priority queue instead.
+
+    `fast` caches its per-monomer results (keyed by the coordinate
+    array), so a `slow` call at the same geometry — the boundary
+    pattern, where both tiers are evaluated back-to-back — reuses the
+    monomer solves and only pays for the polymers.
+    """
+
+    def __init__(self, system: FragmentedSystem, calculator) -> None:
+        self.system = system
+        self.calculator = calculator
+        #: current MBE plan; only the slow tier reads it (the fast tier
+        #: is every monomer at +1 regardless of the plan)
+        self.plan: MBEPlan | None = None
+        self._mono_coords: np.ndarray | None = None
+        self._mono_results: dict | None = None
+        #: statistics: monomer solves served from the fast-tier cache
+        self.monomer_reuses = 0
+
+    def fast(self, coords: np.ndarray) -> tuple[float, np.ndarray]:
+        """Fast-tier energy/gradient: every monomer at coefficient +1."""
+        system = self.system
+        energy = 0.0
+        grad = np.zeros((system.parent.natoms, 3))
+        results: dict[int, tuple] = {}
+        for m in range(system.nmonomers):
+            mol, atoms, caps = system.fragment_molecule((m,), coords)
+            e_f, g_f = self.calculator.energy_gradient(mol)
+            energy += e_f
+            system.map_gradient(g_f, atoms, caps, grad, scale=1.0)
+            results[m] = (e_f, g_f, atoms, caps)
+        self._mono_coords = coords
+        self._mono_results = results
+        return energy, grad
+
+    def _cached_monomers(self, coords: np.ndarray) -> dict | None:
+        if self._mono_results is None or self._mono_coords is None:
+            return None
+        if self._mono_coords is coords or np.array_equal(
+            self._mono_coords, coords
+        ):
+            return self._mono_results
+        return None
+
+    def slow(self, coords: np.ndarray) -> tuple[float, np.ndarray]:
+        """Slow-tier energy/gradient at the current plan.
+
+        Monomer corrections (``c_m - 1``) reuse the solves of the last
+        `fast` call when it ran at the same coordinates.
+        """
+        if self.plan is None:
+            raise RuntimeError("TieredMBEForces.slow called before a plan was set")
+        system = self.system
+        energy = 0.0
+        grad = np.zeros((system.parent.natoms, 3))
+        cached = self._cached_monomers(coords)
+        for key, c in slow_tier_items(self.plan, system.nmonomers):
+            if len(key) == 1 and cached is not None:
+                e_f, g_f, atoms, caps = cached[key[0]]
+                self.monomer_reuses += 1
+            else:
+                mol, atoms, caps = system.fragment_molecule(key, coords)
+                e_f, g_f = self.calculator.energy_gradient(mol)
+            energy += c * e_f
+            system.map_gradient(g_f, atoms, caps, grad, scale=c)
+        return energy, grad
+
+
+@dataclass
+class SlowTierState:
+    """Held slow-tier forces and the history the extrapolation needs.
+
+    ``forces`` is the slow-tier force (``-gradient``) evaluated at outer
+    boundary ``step``; ``forces_prev``/``prev_step`` hold the previous
+    boundary for linear extrapolation.  This is precisely the state a
+    checkpoint must round-trip for a bitwise-exact resume from inside an
+    outer cycle: the held forces cannot be recomputed mid-cycle (the
+    boundary coordinates are gone), unlike the fast forces.
+    """
+
+    k: int
+    extrapolate: bool = False
+    #: outer boundary the current slow forces were evaluated at (-1: none)
+    step: int = -1
+    prev_step: int = -1
+    forces: np.ndarray | None = None
+    forces_prev: np.ndarray | None = None
+    e_slow: float = 0.0
+    e_slow_prev: float = 0.0
+    #: number of slow-tier evaluations pushed (statistics)
+    nevals: int = field(default=0, compare=False)
+
+    def push(self, step: int, forces: np.ndarray, e_slow: float) -> None:
+        """Record a fresh slow-tier evaluation at outer boundary ``step``."""
+        self.prev_step = self.step
+        self.forces_prev = self.forces
+        self.e_slow_prev = self.e_slow
+        self.step = int(step)
+        self.forces = forces
+        self.e_slow = float(e_slow)
+        self.nevals += 1
+
+    def estimate(self, step: int) -> tuple[float, np.ndarray]:
+        """Slow-tier (energy, forces) estimate at inner step ``step``.
+
+        Held (zeroth order) by default; with ``extrapolate`` and one
+        history entry, linear in step.  Exact at ``step == self.step``.
+        The returned array is *shared* with the internal state — callers
+        must not mutate it.
+        """
+        if self.forces is None:
+            raise RuntimeError("slow tier has not been evaluated yet")
+        if (
+            not self.extrapolate
+            or self.prev_step < 0
+            or step == self.step
+            or self.forces_prev is None
+        ):
+            return self.e_slow, self.forces
+        frac = (step - self.step) / (self.step - self.prev_step)
+        e = self.e_slow + frac * (self.e_slow - self.e_slow_prev)
+        f = self.forces + frac * (self.forces - self.forces_prev)
+        return e, f
+
+    # ------------------------------------------------------------------
+    # checkpoint round-trip
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable metadata (arrays travel separately)."""
+        return {
+            "k": int(self.k),
+            "extrapolate": bool(self.extrapolate),
+            "step": int(self.step),
+            "prev_step": int(self.prev_step),
+            "e_slow": float(self.e_slow),
+            "e_slow_prev": float(self.e_slow_prev),
+        }
+
+    def force_arrays(self) -> dict[str, np.ndarray]:
+        """The held-force payload arrays for the checkpoint writer."""
+        arrays: dict[str, np.ndarray] = {}
+        if self.forces is not None:
+            arrays["mts_slow_forces"] = np.asarray(self.forces, dtype=float)
+        if self.forces_prev is not None:
+            arrays["mts_slow_forces_prev"] = np.asarray(
+                self.forces_prev, dtype=float
+            )
+        return arrays
+
+    @classmethod
+    def from_state(
+        cls,
+        meta: dict,
+        forces: np.ndarray | None,
+        forces_prev: np.ndarray | None,
+    ) -> SlowTierState:
+        """Rebuild from `state_dict` metadata plus the force arrays."""
+        state = cls(
+            k=int(meta["k"]),
+            extrapolate=bool(meta["extrapolate"]),
+            step=int(meta["step"]),
+            prev_step=int(meta["prev_step"]),
+            forces=(
+                np.array(forces, dtype=float, copy=True)
+                if forces is not None else None
+            ),
+            forces_prev=(
+                np.array(forces_prev, dtype=float, copy=True)
+                if forces_prev is not None else None
+            ),
+            e_slow=float(meta["e_slow"]),
+            e_slow_prev=float(meta.get("e_slow_prev", 0.0)),
+        )
+        if state.step >= 0 and state.forces is None:
+            raise ValueError(
+                "MTS checkpoint state names a slow-tier boundary "
+                f"{state.step} but carries no held forces"
+            )
+        return state

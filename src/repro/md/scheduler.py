@@ -44,6 +44,7 @@ from ..frag.monomer import FragmentedSystem
 from ..numerics import ensure_finite
 from .checkpoint import Checkpoint, CheckpointError, write_checkpoint
 from .integrators import fs_to_au, maxwell_boltzmann_velocities
+from .mts import slow_tier_items
 
 
 @dataclass
@@ -104,6 +105,8 @@ class AsyncCoordinator:
         resume: Checkpoint | None = None,
         warm_start: bool = True,
         fault_plan=None,
+        mts_k: int = 1,
+        mts_extrapolate: bool = False,
     ) -> None:
         self.system = system
         self.nsteps = nsteps
@@ -115,6 +118,24 @@ class AsyncCoordinator:
         self.replan_interval = max(1, replan_interval)
         self.synchronous = synchronous
         self.clock = clock
+        #: r-RESPA multiple-time-step split across MBE orders
+        #: (`repro.md.mts`): with ``mts_k > 1`` every step issues only
+        #: the monomer (fast-tier) tasks at coefficient +1; the polymer
+        #: tasks plus the monomers' ``c_m - 1`` corrections (the slow
+        #: tier) run only at outer boundaries (``step % mts_k == 0``)
+        #: and enter the dynamics as impulse half-kicks of ``mts_k*dt/2``
+        #: there — or, with ``mts_extrapolate``, as a linearly
+        #: extrapolated force inside every inner step. Slow-tier tasks
+        #: still flow through the same priority queue, so they overlap
+        #: with inner-step fast tasks of monomers that have already
+        #: passed the boundary (no global barrier).
+        self.mts_k = max(1, int(mts_k))
+        self.mts = self.mts_k > 1
+        self.mts_extrapolate = bool(mts_extrapolate)
+        #: completed slow-tier boundary evaluations / polymer solves
+        #: avoided at inner steps relative to single-timescale stepping
+        self.mts_slow_evals = 0
+        self.mts_tasks_skipped = 0
         #: crash-safe checkpointing (see `repro.md.checkpoint`): written
         #: at the consistent retired-step cut — a step every monomer has
         #: fully integrated — at replan-aligned multiples of
@@ -174,6 +195,27 @@ class AsyncCoordinator:
                     f"replan_interval={self.replan_interval}; the fragment "
                     "plan cannot be reconstructed mid-window"
                 )
+            if self.mts and self.start_step % self.mts_k != 0:
+                raise CheckpointError(
+                    f"checkpoint step {self.start_step} is not an outer "
+                    f"boundary of mts_k={self.mts_k}; the coordinator "
+                    "only resumes at completed outer cycles"
+                )
+            if resume.mts is not None:
+                rk = int(resume.mts.get("k", 0))
+                rex = bool(resume.mts.get("extrapolate", False))
+                if rk != self.mts_k or rex != self.mts_extrapolate:
+                    raise CheckpointError(
+                        f"checkpoint MTS state (k={rk}, extrapolate={rex}) "
+                        f"does not match the run (k={self.mts_k}, "
+                        f"extrapolate={self.mts_extrapolate})"
+                    )
+                if int(resume.mts.get("step", -1)) != self.start_step:
+                    raise CheckpointError(
+                        "checkpoint MTS state was taken at boundary "
+                        f"{resume.mts.get('step')} but the checkpoint is "
+                        f"for step {self.start_step}"
+                    )
             if self.start_step > nsteps:
                 raise CheckpointError(
                     f"checkpoint step {self.start_step} is beyond "
@@ -251,6 +293,29 @@ class AsyncCoordinator:
         self._contrib: dict[int, dict] = {}
         #: deterministic mode: step -> {monomer -> kinetic energy}
         self._ke_parts: dict[int, dict[int, float]] = {}
+        #: MTS slow-tier accumulation, keyed by outer boundary step.
+        #: Retained past normal step eviction (two boundaries back) so
+        #: held/extrapolated estimates at inner steps can read them.
+        self._slow_grad: dict[int, np.ndarray] = {}
+        self._slow_pe: dict[int, float] = {}
+        #: deterministic mode: boundary -> {polymer key -> contribution}
+        self._slow_contrib: dict[int, dict] = {}
+        #: per-window monomer slow-correction coefficients (c_m - 1)
+        self._slow_mono_coef: dict[int, dict[int, float]] = {}
+        if self.mts and resume is not None and resume.mts is not None:
+            # the current boundary's slow tier is recomputed by the
+            # resumed run (its tasks are re-released, bitwise-identical
+            # under deterministic mode), but the *previous* boundary —
+            # the extrapolation history — is gone with its coordinates,
+            # so it is seeded from the checkpoint (as gradients)
+            prev_b = int(resume.mts.get("prev_step", -1))
+            if prev_b >= 0 and resume.mts_slow_forces_prev is not None:
+                self._slow_grad[prev_b] = -np.asarray(
+                    resume.mts_slow_forces_prev, dtype=float
+                )
+                self._slow_pe[prev_b] = float(
+                    resume.mts.get("e_slow_prev", 0.0)
+                )
         #: lowest step whose buffers have not been evicted yet
         self._evict_floor = self.start_step
         #: high-water mark of simultaneously live (un-evicted) steps
@@ -325,13 +390,26 @@ class AsyncCoordinator:
                 )
         self._latest_plan = plan
         self.plans[w0] = plan
+        nmono = self.system.nmonomers
+        # issuable task keys for this window: in MTS mode the fast tier
+        # is every monomer at +1 (even coefficient-zero ones — their
+        # correction rides the slow tier) plus the slow-tier polymers;
+        # otherwise exactly the plan's fragments
+        if self.mts:
+            items = slow_tier_items(plan, nmono)
+            self._slow_mono_coef[w0] = {
+                key[0]: c for key, c in items if len(key) == 1
+            }
+            task_keys = [(m,) for m in range(nmono)] + [
+                key for key, _ in items if len(key) > 1
+            ]
+        else:
+            task_keys = plan.fragments
         # touch set: constituents plus owners of outward cap atoms —
         # computable from topology alone (no geometry needed)
         touch: dict[tuple, list[int]] = {}
-        mono_keys: dict[int, list[tuple]] = {
-            m: [] for m in range(self.system.nmonomers)
-        }
-        for key in plan.fragments:
+        mono_keys: dict[int, list[tuple]] = {m: [] for m in range(nmono)}
+        for key in task_keys:
             kset = set(key)
             t = set(key)
             for m in key:
@@ -345,14 +423,33 @@ class AsyncCoordinator:
         self._plan_touch[w0] = touch
         self._mono_keys = mono_keys
         self._plan_mono_keys[w0] = mono_keys
-        nmono = self.system.nmonomers
-        counts0 = np.zeros(nmono, dtype=int)
+        counts_fast = np.zeros(nmono, dtype=int)
+        counts_slow = np.zeros(nmono, dtype=int)
+        n_slow = 0
         for key, tl in touch.items():
+            if self.mts and len(key) > 1:
+                n_slow += 1
+                tgt = counts_slow
+            else:
+                tgt = counts_fast
             for m in tl:
-                counts0[m] += 1
+                tgt[m] += 1
+        n_fast = nmono if self.mts else plan.npolymers
         for step in self._steps_of_window(w0):
-            self._pending_monomer[step] = counts0.copy()
-            self._pending_total[step] = plan.npolymers
+            boundary = not self.mts or step % self.mts_k == 0
+            if boundary:
+                self._pending_monomer[step] = counts_fast + counts_slow
+                self._pending_total[step] = n_fast + n_slow
+                if self.mts:
+                    self._slow_grad[step] = np.zeros(
+                        (self.system.parent.natoms, 3)
+                    )
+                    self._slow_pe[step] = 0.0
+                    self._slow_contrib[step] = {}
+            else:
+                self._pending_monomer[step] = counts_fast.copy()
+                self._pending_total[step] = n_fast
+                self.mts_tasks_skipped += n_slow
             self._grad[step] = np.zeros((self.system.parent.natoms, 3))
             self._pe[step] = 0.0
             self._queued[step] = set()
@@ -404,13 +501,19 @@ class AsyncCoordinator:
             for m in key
         )
         plan = self.plans[w0]
+        if self.mts and len(key) == 1:
+            # fast tier: every monomer at +1; its (c_m - 1) slow
+            # correction is applied from this same result at boundaries
+            coefficient = 1.0
+        else:
+            coefficient = plan.coefficients[key]
         task = PolymerTask(
             key=key,
             step=step,
             molecule=mol,
             atoms=atoms,
             caps=caps,
-            coefficient=plan.coefficients[key],
+            coefficient=coefficient,
             distance=dist,
         )
         heapq.heappush(
@@ -439,6 +542,9 @@ class AsyncCoordinator:
         for key in keys:
             if key in queued:
                 continue
+            if self.mts and len(key) > 1 and step % self.mts_k != 0:
+                # slow-tier polymers only run at outer boundaries
+                continue
             t = touch[key]
             if self._polymer_ready(key, step, t):
                 self._release(key, step)
@@ -464,16 +570,44 @@ class AsyncCoordinator:
         self.in_flight -= 1
         step = task.step
         c = task.coefficient
-        if self.deterministic:
-            self._contrib[step][task.key] = (
-                energy, grad_frag, task.atoms, task.caps, c
-            )
-        else:
-            self._pe[step] += c * energy
-            if task.atoms is not None and grad_frag is not None:
-                self.system.map_gradient(
-                    grad_frag, task.atoms, task.caps, self._grad[step], scale=c
+        if self.mts and len(task.key) > 1:
+            # slow-tier polymer (boundary steps only)
+            if self.deterministic:
+                self._slow_contrib[step][task.key] = (
+                    energy, grad_frag, task.atoms, task.caps, c
                 )
+            else:
+                self._slow_pe[step] += c * energy
+                if task.atoms is not None and grad_frag is not None:
+                    self.system.map_gradient(
+                        grad_frag, task.atoms, task.caps,
+                        self._slow_grad[step], scale=c,
+                    )
+        else:
+            if self.deterministic:
+                self._contrib[step][task.key] = (
+                    energy, grad_frag, task.atoms, task.caps, c
+                )
+            else:
+                self._pe[step] += c * energy
+                if task.atoms is not None and grad_frag is not None:
+                    self.system.map_gradient(
+                        grad_frag, task.atoms, task.caps, self._grad[step],
+                        scale=c,
+                    )
+            if self.mts and step % self.mts_k == 0:
+                # a boundary reuses the monomer solve for the slow
+                # tier's (c_m - 1) correction — no duplicate task
+                cm = self._slow_mono_coef[self._window_start(step)].get(
+                    task.key[0], 0.0
+                )
+                if cm and not self.deterministic:
+                    self._slow_pe[step] += cm * energy
+                    if task.atoms is not None and grad_frag is not None:
+                        self.system.map_gradient(
+                            grad_frag, task.atoms, task.caps,
+                            self._slow_grad[step], scale=cm,
+                        )
         self._pending_total[step] -= 1
         if self._pending_total[step] == 0:
             if self.deterministic:
@@ -481,7 +615,18 @@ class AsyncCoordinator:
                 self._pe[step] = sum(
                     contribs[k][4] * contribs[k][0] for k in sorted(contribs)
                 )
-            self.potential_energies[step] = self._pe[step]
+            pe = self._pe[step]
+            if self.mts:
+                if step % self.mts_k == 0:
+                    if self.deterministic:
+                        self._slow_pe[step] = self._canonical_slow_pe(step)
+                    self.mts_slow_evals += 1
+                    if self.tracer:
+                        self.tracer.instant(
+                            "mts.slow_eval", cat="scheduler", step=step
+                        )
+                pe = pe + self._slow_energy_estimate(step)
+            self.potential_energies[step] = pe
             self.step_finish_time[step] = self.clock() - self.start_time
             if self.tracer:
                 self.tracer.instant("step.complete", cat="scheduler", step=step)
@@ -519,11 +664,19 @@ class AsyncCoordinator:
                 self.coords_at, self._grad, self._pe, self._pending_total,
                 self._pending_monomer, self._queued, self._ke,
                 self._ke_done, self._ref_cent_cache, self._contrib,
-                self._ke_parts, self._vel_at,
+                self._ke_parts, self._vel_at, self._slow_contrib,
             ):
                 d.pop(s, None)
             self.steps_evicted += 1
             self._evict_floor += 1
+        if self.mts:
+            # held slow forces/energies outlive their boundary: inner
+            # steps up to two cycles later read them (extrapolation uses
+            # the previous boundary too)
+            horizon = low - 2 * self.mts_k
+            for d in (self._slow_grad, self._slow_pe):
+                for b in [b for b in d if b < horizon]:
+                    del d[b]
 
     # ------------------------------------------------------------------
     # checkpointing
@@ -533,8 +686,9 @@ class AsyncCoordinator:
 
         Candidates must be replan-window starts (so a resumed run
         rebuilds the identical fragment plan from the checkpointed
-        coordinates) in addition to being multiples of
-        ``checkpoint_every``.
+        coordinates) — and, under MTS, outer-cycle boundaries, so the
+        snapshot carries a freshly evaluated slow tier — in addition to
+        being multiples of ``checkpoint_every``.
         """
         return (
             self.checkpoint_path is not None
@@ -542,6 +696,7 @@ class AsyncCoordinator:
             and step > self.start_step
             and step % self.checkpoint_every == 0
             and step % self.replan_interval == 0
+            and step % self.mts_k == 0
         )
 
     def _write_checkpoint(self, step: int) -> None:
@@ -561,6 +716,24 @@ class AsyncCoordinator:
                 "timeouts": report.timeouts,
                 "quarantined": len(report.quarantined),
             }
+        mts_meta = None
+        slow_forces = slow_forces_prev = None
+        if self.mts:
+            prev = step - self.mts_k
+            has_prev = prev in self._slow_grad and prev in self._slow_pe
+            mts_meta = {
+                "k": int(self.mts_k),
+                "extrapolate": bool(self.mts_extrapolate),
+                "step": int(step),
+                "prev_step": int(prev) if has_prev else -1,
+                "e_slow": float(self._slow_pe[step]),
+                "e_slow_prev": (
+                    float(self._slow_pe[prev]) if has_prev else 0.0
+                ),
+            }
+            slow_forces = -self._slow_grad[step]
+            if has_prev:
+                slow_forces_prev = -self._slow_grad[prev]
         write_checkpoint(
             self.checkpoint_path,
             Checkpoint(
@@ -577,6 +750,9 @@ class AsyncCoordinator:
                 kinetic=np.array([self.kinetic_energies[s] for s in steps]),
                 driver=driver,
                 reference=int(self.reference),
+                mts=mts_meta,
+                mts_slow_forces=slow_forces,
+                mts_slow_forces_prev=slow_forces_prev,
             ),
             tracer=self.tracer,
             keep=self.checkpoint_keep,
@@ -587,6 +763,80 @@ class AsyncCoordinator:
     def live_steps(self) -> int:
         """Number of steps whose accumulation buffers are currently live."""
         return len(self._pending_total)
+
+    # ------------------------------------------------------------------
+    # MTS slow tier
+    # ------------------------------------------------------------------
+    def _canonical_slow_pe(self, step: int) -> float:
+        """Slow-tier energy at a boundary, reduced in canonical order.
+
+        Deterministic mode only: monomer ``c_m - 1`` corrections (from
+        the buffered fast-tier results) in monomer order, then polymer
+        contributions in sorted-key order.
+        """
+        w0 = self._window_start(step)
+        contribs = self._contrib[step]
+        mono_coef = self._slow_mono_coef[w0]
+        total = 0.0
+        for j in sorted(mono_coef):
+            total += mono_coef[j] * contribs[(j,)][0]
+        slow_contribs = self._slow_contrib[step]
+        for key in sorted(slow_contribs):
+            total += slow_contribs[key][4] * slow_contribs[key][0]
+        return total
+
+    def _slow_energy_estimate(self, step: int) -> float:
+        """Held (or extrapolated) slow-tier energy at ``step``."""
+        b = (step // self.mts_k) * self.mts_k
+        e_b = self._slow_pe[b]
+        if step == b:
+            return e_b
+        prev = b - self.mts_k
+        if self.mts_extrapolate and prev in self._slow_pe:
+            frac = (step - b) / (b - prev)
+            return e_b + frac * (e_b - self._slow_pe[prev])
+        return e_b
+
+    def _materialize_slow_rows(self, m: int, step: int) -> None:
+        """Deterministic mode: fill monomer ``m``'s rows of the slow-tier
+        gradient buffer at boundary ``step`` by a canonical reduction.
+
+        Monomer atom rows are disjoint, so each monomer writes its own
+        rows at integration time while other monomers' contributions are
+        still arriving; the buffer then outlives the per-step `_contrib`
+        buffers, which later inner steps cannot hold onto.
+        """
+        rows = self.monomer_atoms[m]
+        w0 = self._window_start(step)
+        contribs = self._contrib[step]
+        slow_contribs = self._slow_contrib[step]
+        mono_coef = self._slow_mono_coef[w0]
+        buf = np.zeros((self.system.parent.natoms, 3))
+        for key in sorted(self._plan_mono_keys[w0][m]):
+            if len(key) > 1:
+                energy, grad_frag, atoms, caps, c = slow_contribs[key]
+            else:
+                cm = mono_coef.get(key[0], 0.0)
+                if not cm:
+                    continue
+                energy, grad_frag, atoms, caps, _ = contribs[key]
+                c = cm
+            if atoms is not None and grad_frag is not None:
+                self.system.map_gradient(grad_frag, atoms, caps, buf, scale=c)
+        self._slow_grad[step][rows] = buf[rows]
+
+    def _slow_grad_estimate_rows(self, m: int, step: int) -> np.ndarray:
+        """Extrapolate mode: estimated slow-tier gradient rows of ``m``."""
+        rows = self.monomer_atoms[m]
+        b = (step // self.mts_k) * self.mts_k
+        g_b = self._slow_grad[b][rows]
+        if step == b:
+            return g_b
+        prev = b - self.mts_k
+        if prev in self._slow_grad:
+            frac = (step - b) / (b - prev)
+            return g_b + frac * (g_b - self._slow_grad[prev][rows])
+        return g_b
 
     def _monomer_gradient_rows(self, m: int, step: int) -> np.ndarray:
         """Gradient on monomer ``m``'s atoms, reduced deterministically.
@@ -600,6 +850,10 @@ class AsyncCoordinator:
         contribs = self._contrib[step]
         buf = np.zeros((self.system.parent.natoms, 3))
         for key in sorted(self._plan_mono_keys[w0][m]):
+            if self.mts and len(key) > 1:
+                # slow-tier polymers live in `_slow_contrib` and enter
+                # through the boundary impulses, not the fast gradient
+                continue
             energy, grad_frag, atoms, caps, c = contribs[key]
             if atoms is not None and grad_frag is not None:
                 self.system.map_gradient(grad_frag, atoms, caps, buf, scale=c)
@@ -612,6 +866,15 @@ class AsyncCoordinator:
             grad_rows = self._monomer_gradient_rows(m, step)
         else:
             grad_rows = self._grad[step][rows]
+        boundary = self.mts and step % self.mts_k == 0
+        if boundary and self.deterministic:
+            self._materialize_slow_rows(m, step)
+        acc_slow = None
+        if self.mts and self.mts_extrapolate:
+            # extrapolated slow force enters the regular per-step kicks
+            grad_rows = grad_rows + self._slow_grad_estimate_rows(m, step)
+        elif boundary:
+            acc_slow = -self._slow_grad[step][rows] / self.masses[rows, None]
         acc = -grad_rows / self.masses[rows, None]
         if step > self.start_step:
             # second half-kick completing the previous step (on resume,
@@ -619,6 +882,11 @@ class AsyncCoordinator:
             # step, so the first integration skips it exactly as a fresh
             # run does at step 0)
             self.velocities[rows] += 0.5 * self.dt * acc
+            if acc_slow is not None:
+                # closing half-impulse of the outer cycle (r-RESPA)
+                self.velocities[rows] += (
+                    0.5 * self.mts_k * self.dt * acc_slow
+                )
         # kinetic energy at integer step
         ke = 0.5 * float(
             np.sum(self.masses[rows, None] * self.velocities[rows] ** 2)
@@ -647,6 +915,9 @@ class AsyncCoordinator:
         if step >= self.nsteps:
             self.monomer_done[m] = True
             return
+        if acc_slow is not None:
+            # opening half-impulse of the next outer cycle
+            self.velocities[rows] += 0.5 * self.mts_k * self.dt * acc_slow
         # first half-kick + drift
         self.velocities[rows] += 0.5 * self.dt * acc
         self.coords[rows] += self.dt * self.velocities[rows]

@@ -9,6 +9,13 @@ canonical sampling, so the library ships two standard thermostats:
 * `LangevinThermostat` — stochastic friction + noise applied as an
   Ornstein-Uhlenbeck velocity update between Verlet steps (the "O" part
   of BAOAB splitting); samples the canonical ensemble for small dt.
+
+Both thermostats accept an ``ndof`` override; the default (``None``)
+counts ``3N - 3`` degrees of freedom, matching the center-of-mass-free
+velocity fields produced by `maxwell_boltzmann_velocities`.  The old
+``3N`` divisor under-reported the temperature, so both thermostats
+silently targeted a temperature *above* the one requested (by
+``3N/(3N-3)``, 50% hot for a 3-atom fragment).
 """
 
 from __future__ import annotations
@@ -23,18 +30,47 @@ from .integrators import instantaneous_temperature
 
 @dataclass
 class BerendsenThermostat:
-    """Weak-coupling rescaling toward a target temperature."""
+    """Weak-coupling rescaling toward a target temperature.
+
+    The squared scale factor ``lam2 = 1 + (dt/tau)(T0/T - 1)`` turns
+    negative when ``dt/tau > 1`` and the system is far hotter than the
+    target — the naive ``sqrt(max(lam2, 0))`` then *zeroes* the
+    velocities, silently freezing the dynamics.  The effective coupling
+    ratio is therefore clamped smoothly to ``min(dt/tau, 1)``: at the
+    clamp the update degrades continuously into an exact rescale to the
+    target temperature (``lam2 = T0/T``, the dt/tau → 1 limit of the
+    weak-coupling form), which is the strongest physically meaningful
+    action the thermostat can take in one step.  When the clamp engages
+    a ``thermostat.clamp`` tracer instant is emitted (when a tracer is
+    attached), so pathological dt/tau ratios are visible instead of
+    silently corrupting the run.
+    """
 
     temperature_k: float
     tau_fs: float = 50.0
+    #: kinetic degrees of freedom (None -> 3N-3, center-of-mass free)
+    ndof: int | None = None
+    #: optional `repro.trace.Tracer` for clamp diagnostics
+    tracer: object | None = field(default=None, repr=False, compare=False)
 
     def apply(self, velocities: np.ndarray, masses_au: np.ndarray, dt_fs: float) -> np.ndarray:
         """Rescale velocities toward the target temperature."""
-        t_now = instantaneous_temperature(masses_au, velocities)
+        t_now = instantaneous_temperature(masses_au, velocities, ndof=self.ndof)
         if t_now <= 0:
             return velocities
-        lam2 = 1.0 + (dt_fs / self.tau_fs) * (self.temperature_k / t_now - 1.0)
-        return velocities * np.sqrt(max(lam2, 0.0))
+        ratio = dt_fs / self.tau_fs
+        if ratio > 1.0:
+            # smooth floor: cap the coupling at the exact-rescale limit
+            # instead of letting lam2 go <= 0 and zeroing the velocities
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "thermostat.clamp", cat="md",
+                    dt_over_tau=float(ratio), t_now_k=float(t_now),
+                    target_k=float(self.temperature_k),
+                )
+            ratio = 1.0
+        lam2 = 1.0 + ratio * (self.temperature_k / t_now - 1.0)
+        return velocities * np.sqrt(lam2)
 
     def state_dict(self) -> dict:
         """Checkpointable state (stateless: parameters only)."""
@@ -46,11 +82,27 @@ class BerendsenThermostat:
 
 @dataclass
 class LangevinThermostat:
-    """Ornstein-Uhlenbeck velocity update (friction + matched noise)."""
+    """Ornstein-Uhlenbeck velocity update (friction + matched noise).
+
+    The noise kicks every Cartesian component independently, so a plain
+    OU update slowly pumps momentum into the center of mass — the
+    velocity field drifts out of the center-of-mass-free ensemble that
+    the ``3N - 3`` temperature accounting (and the initial conditions)
+    assume.  With ``remove_com_drift=True`` the center-of-mass momentum
+    the noise injected is projected back out after every update, so the
+    thermostat thermalizes exactly the ``3N - 3`` internal degrees of
+    freedom at the target temperature.
+    """
 
     temperature_k: float
     friction_per_fs: float = 0.01
     seed: int = 0
+    #: kinetic degrees of freedom (None -> 3N-3); used by diagnostics
+    #: and kept alongside `remove_com_drift` so temperature accounting
+    #: and dynamics agree about which ensemble is being sampled
+    ndof: int | None = None
+    #: project the center-of-mass momentum out of the noise each step
+    remove_com_drift: bool = False
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -63,7 +115,15 @@ class LangevinThermostat:
             (1.0 - c1 * c1) * KB_HARTREE_PER_K * self.temperature_k / masses_au
         )
         noise = self._rng.standard_normal(velocities.shape) * sigma[:, None]
-        return c1 * velocities + noise
+        v = c1 * velocities + noise
+        if self.remove_com_drift and masses_au.shape[0] > 1:
+            p = (v * masses_au[:, None]).sum(axis=0)
+            v = v - p[None, :] / masses_au.sum()
+        return v
+
+    def temperature(self, velocities: np.ndarray, masses_au: np.ndarray) -> float:
+        """Instantaneous temperature under this thermostat's DOF count."""
+        return instantaneous_temperature(masses_au, velocities, ndof=self.ndof)
 
     def state_dict(self) -> dict:
         """Checkpointable state: the RNG stream position.

@@ -158,3 +158,120 @@ class TestRestart:
 
         with pytest.raises(ValueError):
             save_restart(tmp_path / "x.npz", Trajectory())
+
+
+class TestDofAccounting:
+    """The 3N-3 degree-of-freedom fixes: center-of-mass-free velocity
+    fields must report (and be initialized at) the exact target
+    temperature instead of running systematically cold/hot by
+    3N/(3N-3)."""
+
+    def test_default_ndof(self):
+        from repro.md import default_ndof
+
+        assert default_ndof(1) == 3   # floor: no division by zero
+        assert default_ndof(2) == 3
+        assert default_ndof(3) == 6
+        assert default_ndof(30) == 87
+        assert default_ndof(3, com_removed=False) == 9
+
+    @pytest.mark.parametrize("natoms", [3, 30])
+    def test_initial_temperature_is_exact(self, natoms):
+        """After COM removal + rescale the instantaneous temperature
+        equals the request exactly — for a 3-atom fragment the old
+        unrescaled draw started ~33% cold on average."""
+        rng = np.random.default_rng(4)
+        masses = 1837.0 * (1.0 + rng.random(natoms))
+        v = maxwell_boltzmann_velocities(masses, 300.0, seed=11)
+        assert instantaneous_temperature(masses, v) == pytest.approx(
+            300.0, abs=1e-9
+        )
+        # and the COM really is at rest
+        p = (v * masses[:, None]).sum(axis=0)
+        np.testing.assert_allclose(p, 0.0, atol=1e-12)
+
+    def test_single_atom_and_zero_temperature_guards(self):
+        masses = np.array([1837.0])
+        v = maxwell_boltzmann_velocities(masses, 300.0, seed=0)
+        assert np.all(np.isfinite(v))
+        v0 = maxwell_boltzmann_velocities(np.ones(4) * 1837.0, 0.0, seed=0)
+        np.testing.assert_array_equal(v0, 0.0)
+
+    def test_ndof_override(self):
+        masses = np.ones(4) * 1837.0
+        v = maxwell_boltzmann_velocities(masses, 300.0, seed=3)
+        t_internal = instantaneous_temperature(masses, v)
+        t_full = instantaneous_temperature(masses, v, ndof=12)
+        assert t_full == pytest.approx(t_internal * 9 / 12)
+
+
+class TestBerendsenClamp:
+    def test_large_dt_over_tau_does_not_freeze(self):
+        """dt/tau > 1 with a hot system used to drive lam2 negative and
+        sqrt(max(lam2, 0)) zeroed the velocities; the smooth clamp
+        degrades into an exact rescale to the target instead."""
+        masses = np.ones(6) * 1837.0
+        v = maxwell_boltzmann_velocities(masses, 1200.0, seed=5)
+        th = BerendsenThermostat(temperature_k=300.0, tau_fs=0.25)
+        out = th.apply(v, masses, dt_fs=1.0)  # dt/tau = 4
+        assert np.any(out != 0.0)
+        assert instantaneous_temperature(masses, out) == pytest.approx(
+            300.0, abs=1e-9
+        )
+
+    def test_clamp_emits_tracer_instant(self):
+        from repro.trace import Tracer
+
+        masses = np.ones(6) * 1837.0
+        v = maxwell_boltzmann_velocities(masses, 1200.0, seed=5)
+        tracer = Tracer()
+        th = BerendsenThermostat(temperature_k=300.0, tau_fs=0.25,
+                                 tracer=tracer)
+        th.apply(v, masses, dt_fs=1.0)
+        events = tracer.instants("thermostat.clamp")
+        assert len(events) == 1
+        # gentle coupling emits nothing
+        th.apply(v, masses, dt_fs=0.1)
+        assert len(tracer.instants("thermostat.clamp")) == 1
+
+
+class TestLangevinComDrift:
+    def test_mean_temperature_matches_target_with_com_removal(self):
+        """Regression for the DOF accounting: a small system thermalized
+        by Langevin with COM projection must average the *target*
+        temperature over 3N-3 DOF.  Without the fix (plain OU noise,
+        3N divisor) the same measurement reads ~25% low for 4 atoms."""
+        natoms = 4
+        masses = np.ones(natoms) * 1837.0
+        th = LangevinThermostat(temperature_k=250.0, friction_per_fs=0.05,
+                                seed=9, remove_com_drift=True)
+        v = maxwell_boltzmann_velocities(masses, 250.0, seed=2)
+        temps = []
+        for _ in range(4000):
+            v = th.apply(v, masses, dt_fs=1.0)
+            temps.append(instantaneous_temperature(masses, v))
+        mean_t = np.mean(temps[1000:])
+        assert mean_t == pytest.approx(250.0, rel=0.05)
+        # the old accounting would have reported 250 * 9/12 = 187.5 K
+        assert abs(mean_t - 187.5) > 30.0
+
+    def test_com_momentum_stays_zero(self):
+        masses = np.ones(5) * 1837.0
+        th = LangevinThermostat(temperature_k=300.0, seed=1,
+                                remove_com_drift=True)
+        v = np.zeros((5, 3))
+        for _ in range(50):
+            v = th.apply(v, masses, dt_fs=1.0)
+            p = (v * masses[:, None]).sum(axis=0)
+            np.testing.assert_allclose(p, 0.0, atol=1e-10)
+
+    def test_rng_state_roundtrip_bitwise(self):
+        masses = np.ones(4) * 1837.0
+        v0 = np.ones((4, 3)) * 1e-4
+        a = LangevinThermostat(300.0, seed=3, remove_com_drift=True)
+        b = LangevinThermostat(300.0, seed=99, remove_com_drift=True)
+        a.apply(v0.copy(), masses, 1.0)  # advance the stream
+        b.load_state_dict(a.state_dict())
+        va = a.apply(v0.copy(), masses, 1.0)
+        vb = b.apply(v0.copy(), masses, 1.0)
+        np.testing.assert_array_equal(va, vb)

@@ -1,0 +1,359 @@
+"""r-RESPA multiple-time-step integration across MBE tiers.
+
+Covers the tier split's exactness, sync-driver dynamics and checkpoint
+round-trips (including SIGKILL mid-outer-cycle), async-coordinator
+parity with the sync driver, and the CLI flags.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.calculators import PairwisePotentialCalculator
+from repro.constants import BOHR_PER_ANGSTROM
+from repro.frag.mbe import build_plan, mbe_energy_gradient
+from repro.md import (
+    AsyncCoordinator,
+    CheckpointError,
+    SlowTierState,
+    TieredMBEForces,
+    read_checkpoint,
+    run_aimd,
+    run_serial,
+    slow_tier_items,
+)
+from repro.md.integrators import maxwell_boltzmann_velocities
+from repro.systems import glycine_fragmented, water_cluster
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+R_DIMER = 6.0 * BOHR_PER_ANGSTROM
+
+
+@pytest.fixture(scope="module")
+def surrogate():
+    return PairwisePotentialCalculator()
+
+
+@pytest.fixture(scope="module")
+def glycine4():
+    return glycine_fragmented(4)
+
+
+@pytest.fixture(scope="module")
+def v0(glycine4):
+    return maxwell_boltzmann_velocities(
+        glycine4.parent.masses_au, 300.0, seed=7
+    )
+
+
+def _run(system, calc, v, **kw):
+    base = dict(
+        nsteps=16, dt_fs=0.25, r_dimer_bohr=R_DIMER, mbe_order=2,
+        replan_interval=4, velocities=v.copy(),
+    )
+    base.update(kw)
+    return run_aimd(system, calc, **base)
+
+
+class TestTierSplit:
+    def test_fast_plus_slow_is_exact_mbe(self, glycine4, surrogate):
+        """The tier split must reproduce the full MBE bit-for-bit in
+        exact arithmetic: fast (all monomers at +1) + slow (polymers at
+        c, monomers at c_m - 1) == inclusion-exclusion assembly."""
+        plan = build_plan(glycine4, R_DIMER, order=2)
+        e_ref, g_ref = mbe_energy_gradient(glycine4, plan, surrogate)
+        tiers = TieredMBEForces(glycine4, surrogate)
+        tiers.plan = plan
+        coords = glycine4.parent.coords
+        e_f, g_f = tiers.fast(coords)
+        e_s, g_s = tiers.slow(coords)
+        assert e_f + e_s == pytest.approx(e_ref, abs=1e-12)
+        np.testing.assert_allclose(g_f + g_s, g_ref, atol=1e-12)
+
+    def test_monomer_solves_reused_at_boundaries(self, glycine4, surrogate):
+        plan = build_plan(glycine4, R_DIMER, order=2)
+        tiers = TieredMBEForces(glycine4, surrogate)
+        tiers.plan = plan
+        coords = glycine4.parent.coords
+        tiers.fast(coords)
+        tiers.slow(coords)
+        n_mono_corrections = sum(
+            1 for key, _ in slow_tier_items(plan, glycine4.nmonomers)
+            if len(key) == 1
+        )
+        assert n_mono_corrections > 0
+        assert tiers.monomer_reuses == n_mono_corrections
+
+    def test_slow_before_plan_raises(self, glycine4, surrogate):
+        tiers = TieredMBEForces(glycine4, surrogate)
+        with pytest.raises(RuntimeError, match="plan"):
+            tiers.slow(glycine4.parent.coords)
+
+
+class TestSlowTierState:
+    def test_held_estimate_is_constant(self):
+        s = SlowTierState(k=4)
+        f = np.ones((3, 3))
+        s.push(0, f, -1.0)
+        for step in (0, 1, 3):
+            e, out = s.estimate(step)
+            assert e == -1.0
+            np.testing.assert_array_equal(out, f)
+
+    def test_extrapolated_estimate_is_linear(self):
+        s = SlowTierState(k=4, extrapolate=True)
+        s.push(0, np.zeros((2, 3)), 0.0)
+        s.push(4, np.ones((2, 3)), 4.0)
+        e, f = s.estimate(6)
+        assert e == pytest.approx(6.0)
+        np.testing.assert_allclose(f, 1.5)
+        # exact at the boundary itself regardless of history
+        e, f = s.estimate(4)
+        assert e == pytest.approx(4.0)
+        np.testing.assert_allclose(f, 1.0)
+
+    def test_state_roundtrip(self):
+        s = SlowTierState(k=2, extrapolate=True)
+        s.push(0, np.full((2, 3), 2.0), -0.5)
+        s.push(2, np.full((2, 3), 3.0), -0.7)
+        r = SlowTierState.from_state(
+            s.state_dict(),
+            s.force_arrays()["mts_slow_forces"],
+            s.force_arrays()["mts_slow_forces_prev"],
+        )
+        assert r.step == 2 and r.prev_step == 0
+        assert r.e_slow == -0.7 and r.e_slow_prev == -0.5
+        np.testing.assert_array_equal(r.forces, s.forces)
+        np.testing.assert_array_equal(r.forces_prev, s.forces_prev)
+
+    def test_missing_forces_raise(self):
+        meta = SlowTierState(k=2)
+        meta.push(0, np.zeros((1, 3)), 0.0)
+        with pytest.raises(ValueError, match="held forces"):
+            SlowTierState.from_state(meta.state_dict(), None, None)
+
+
+class TestSyncDriverMTS:
+    def test_drift_comparable_to_baseline(self, glycine4, surrogate, v0):
+        base = _run(glycine4, surrogate, v0)
+        k4 = _run(glycine4, surrogate, v0, mts_k=4)
+        d_base = abs(base.total[-1] - base.total[0])
+        d_k4 = abs(k4.total[-1] - k4.total[0])
+        assert d_k4 < 10 * max(d_base, 1e-7)
+        # trajectories stay close over this short window
+        dev = np.max(np.abs(k4.coords[-1] - base.coords[-1]))
+        assert dev < 1e-2  # Bohr
+
+    def test_extrapolate_mode_runs(self, glycine4, surrogate, v0):
+        k4x = _run(glycine4, surrogate, v0, mts_k=4, mts_extrapolate=True)
+        d = abs(k4x.total[-1] - k4x.total[0])
+        assert d < 1e-3
+
+    def test_requires_fragmented_system(self, surrogate):
+        with pytest.raises(ValueError, match="FragmentedSystem"):
+            run_aimd(water_cluster(2), surrogate, nsteps=2, dt_fs=0.5,
+                     mts_k=2)
+
+    @pytest.mark.parametrize("extrapolate", [False, True])
+    def test_mid_cycle_checkpoint_resume_bitwise(
+        self, glycine4, surrogate, v0, tmp_path, extrapolate
+    ):
+        """Resume from a checkpoint *inside* an outer cycle (step 6 is
+        phase 2 of k=4) and reproduce the uninterrupted run bitwise —
+        the held slow forces ride the checkpoint."""
+        ck = tmp_path / "ck.npz"
+        full = _run(glycine4, surrogate, v0, nsteps=12, mts_k=4,
+                    mts_extrapolate=extrapolate, replan_interval=2)
+        _run(glycine4, surrogate, v0, nsteps=6, mts_k=4,
+             mts_extrapolate=extrapolate, replan_interval=2,
+             checkpoint_path=ck, checkpoint_every=2)
+        ckpt = read_checkpoint(ck, mol=glycine4.parent)
+        assert ckpt.step == 6
+        assert ckpt.mts is not None and ckpt.mts["k"] == 4
+        assert ckpt.mts["step"] == 4  # held boundary, not the step
+        resumed = _run(glycine4, surrogate, v0, nsteps=12, mts_k=4,
+                       mts_extrapolate=extrapolate, replan_interval=2,
+                       resume=ckpt)
+        np.testing.assert_array_equal(full.potential, resumed.potential)
+        np.testing.assert_array_equal(full.kinetic, resumed.kinetic)
+        np.testing.assert_array_equal(full.coords[-1], resumed.coords[-1])
+        np.testing.assert_array_equal(
+            full.velocities[-1], resumed.velocities[-1]
+        )
+
+    def test_k_mismatch_raises(self, glycine4, surrogate, v0, tmp_path):
+        ck = tmp_path / "ck.npz"
+        _run(glycine4, surrogate, v0, nsteps=6, mts_k=4,
+             checkpoint_path=ck, checkpoint_every=2)
+        ckpt = read_checkpoint(ck, mol=glycine4.parent)
+        with pytest.raises(CheckpointError, match="does not match"):
+            _run(glycine4, surrogate, v0, nsteps=12, mts_k=2,
+                 resume=ckpt)
+
+    def test_mts_checkpoint_into_plain_run_raises(
+        self, glycine4, surrogate, v0, tmp_path
+    ):
+        ck = tmp_path / "ck.npz"
+        _run(glycine4, surrogate, v0, nsteps=6, mts_k=4,
+             checkpoint_path=ck, checkpoint_every=2)
+        ckpt = read_checkpoint(ck, mol=glycine4.parent)
+        with pytest.raises(CheckpointError, match="mts"):
+            _run(glycine4, surrogate, v0, nsteps=12, resume=ckpt)
+
+
+_KILL_SCRIPT = """
+import os, signal, sys
+import numpy as np
+from repro.calculators import PairwisePotentialCalculator
+from repro.constants import BOHR_PER_ANGSTROM
+from repro.md import run_aimd
+from repro.md.integrators import maxwell_boltzmann_velocities
+from repro.systems import glycine_fragmented
+
+class KillAfter:
+    def __init__(self, inner, ncalls):
+        self.inner, self.ncalls, self.calls = inner, ncalls, 0
+    def energy_gradient(self, mol):
+        self.calls += 1
+        if self.calls > self.ncalls:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self.inner.energy_gradient(mol)
+
+system = glycine_fragmented(4)
+v0 = maxwell_boltzmann_velocities(system.parent.masses_au, 300.0, seed=7)
+run_aimd(system, KillAfter(PairwisePotentialCalculator(), 60),
+         nsteps=16, dt_fs=0.25, r_dimer_bohr=6.0 * BOHR_PER_ANGSTROM,
+         mbe_order=2, replan_interval=2, velocities=v0, mts_k=4,
+         checkpoint_path=sys.argv[1], checkpoint_every=2)
+raise SystemExit("should have been killed")
+"""
+
+
+class TestSigkillResumeMTS:
+    def test_sigkill_mid_outer_cycle_resume_bitwise(
+        self, glycine4, surrogate, v0, tmp_path
+    ):
+        """The acceptance criterion: SIGKILL an MTS run mid-trajectory,
+        resume from the latest checkpoint (which lands inside an outer
+        cycle), and reproduce the uninterrupted run bitwise."""
+        ck = tmp_path / "ck.npz"
+        env = dict(os.environ, PYTHONPATH=SRC)
+        proc = subprocess.run(
+            [sys.executable, "-c", _KILL_SCRIPT, str(ck)],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        assert ck.exists()
+        ckpt = read_checkpoint(ck, mol=glycine4.parent)
+        assert 0 < ckpt.step < 16
+        assert ckpt.mts is not None
+        resumed = _run(glycine4, surrogate, v0, mts_k=4,
+                       replan_interval=2, resume=ckpt)
+        full = _run(glycine4, surrogate, v0, mts_k=4, replan_interval=2)
+        np.testing.assert_array_equal(full.potential, resumed.potential)
+        np.testing.assert_array_equal(full.kinetic, resumed.kinetic)
+        np.testing.assert_array_equal(full.coords[-1], resumed.coords[-1])
+
+
+class TestCoordinatorMTS:
+    def _coord(self, v, nsteps=16, resume=None, **kw):
+        system = glycine_fragmented(4)
+        c = AsyncCoordinator(
+            system, nsteps=nsteps, dt_fs=0.25, r_dimer_bohr=R_DIMER,
+            mbe_order=2, velocities=v.copy(), replan_interval=4,
+            deterministic=True, warm_start=False, resume=resume, **kw)
+        run_serial(c, PairwisePotentialCalculator())
+        return c
+
+    @pytest.mark.parametrize("extrapolate", [False, True])
+    def test_matches_sync_driver(self, glycine4, surrogate, v0, extrapolate):
+        """The coordinator's task-by-task tier split must integrate the
+        same dynamics as the sync driver's closed-form split."""
+        c = self._coord(v0, mts_k=4, mts_extrapolate=extrapolate)
+        traj = _run(glycine4, surrogate, v0, mts_k=4,
+                    mts_extrapolate=extrapolate)
+        _, pe, ke = c.trajectory_energies()
+        np.testing.assert_allclose(pe, traj.potential, atol=1e-12)
+        np.testing.assert_allclose(ke, traj.kinetic, atol=1e-12)
+
+    def test_k1_is_plain_path(self, v0):
+        a = self._coord(v0)
+        b = self._coord(v0, mts_k=1)
+        _, pe_a, ke_a = a.trajectory_energies()
+        _, pe_b, ke_b = b.trajectory_energies()
+        np.testing.assert_array_equal(pe_a, pe_b)
+        np.testing.assert_array_equal(ke_a, ke_b)
+        assert not b.mts
+
+    def test_inner_steps_skip_polymer_tasks(self, v0):
+        k4 = self._coord(v0, mts_k=4)
+        base = self._coord(v0)
+        assert k4.mts_tasks_skipped > 0
+        assert k4.tasks_issued < base.tasks_issued
+        assert k4.mts_slow_evals == 16 // 4 + 1  # boundaries incl. step 0
+
+    @pytest.mark.parametrize("extrapolate", [False, True])
+    def test_deterministic_resume_bitwise(self, v0, tmp_path, extrapolate):
+        ck = tmp_path / "ck.npz"
+        full = self._coord(v0, mts_k=4, mts_extrapolate=extrapolate,
+                           checkpoint_path=ck, checkpoint_every=4,
+                           checkpoint_keep=4)
+        t_f, pe_f, ke_f = full.trajectory_energies()
+        # pick the rotated generation written at step 8 (has history)
+        ckpt = None
+        for q in [ck] + [Path(str(ck) + f".{i}") for i in range(1, 5)]:
+            if q.exists():
+                c0 = read_checkpoint(q, mol=glycine_fragmented(4).parent)
+                if c0.step == 8:
+                    ckpt = c0
+        assert ckpt is not None
+        assert ckpt.mts["prev_step"] == 4
+        res = self._coord(v0, mts_k=4, mts_extrapolate=extrapolate,
+                          resume=ckpt)
+        t_r, pe_r, ke_r = res.trajectory_energies()
+        np.testing.assert_array_equal(pe_f, pe_r)
+        np.testing.assert_array_equal(ke_f, ke_r)
+        np.testing.assert_array_equal(full.coords, res.coords)
+        np.testing.assert_array_equal(full.velocities, res.velocities)
+
+    def test_mid_cycle_resume_rejected(self, v0, tmp_path):
+        """The coordinator (unlike the sync driver) only resumes at
+        outer boundaries: checkpoint candidates are k-aligned, so a
+        misaligned checkpoint means corrupted input."""
+        ck = tmp_path / "ck.npz"
+        c = self._coord(v0, nsteps=8, checkpoint_path=ck,
+                        checkpoint_every=2)
+        ckpt = read_checkpoint(ck, mol=glycine_fragmented(4).parent)
+        assert ckpt.step % 4 != 0 or True  # any non-multiple works below
+        bad = ckpt
+        if ckpt.step % 4 == 0:
+            # force a misaligned step by rewriting the metadata view
+            import dataclasses
+
+            bad = dataclasses.replace(ckpt, step=ckpt.step - 2)
+        with pytest.raises(CheckpointError):
+            self._coord(v0, mts_k=4, resume=bad)
+
+
+class TestCliMTS:
+    def test_cli_flags(self, tmp_path, capsys):
+        from repro.chem.xyz import save_xyz
+        from repro.cli import main
+        from repro.systems import glycine_chain
+
+        xyz = tmp_path / "gly.xyz"
+        save_xyz(glycine_chain(4), xyz)
+        rc = main(["aimd", str(xyz), "--surrogate", "--steps", "8",
+                   "--dt", "0.25", "--order", "2", "--r-dimer", "6",
+                   "--mts-k", "4", "--deterministic"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mts: k=4" in out
+        assert "slow-tier evaluations" in out
