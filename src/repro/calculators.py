@@ -18,7 +18,9 @@ fragmentation and MD layers consume. Three families are provided:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -96,25 +98,68 @@ class GuessCache:
       iterations. Bitwise resume equivalence is guaranteed by the
       coordinator's ``deterministic`` mode, which disables warm starts
       entirely (see `repro.md.checkpoint`).
+
+    Concurrency: every entry/counter access happens under one re-entrant
+    lock, so the cache can be shared by the multi-tenant trajectory
+    service (`repro.serve`), whose worker threads hit it concurrently.
+    Lock waits are counted in ``contentions``. Multi-tenant keys carry
+    the job id as a leading string element
+    (``(job_id, m0, m1, ...)``) — jobs can then share one cache without
+    cross-contaminating densities, and hits/misses are additionally
+    attributed per tenant (`tenant_stats`).
     """
 
     def __init__(self, max_bytes: int = 256 * 2**20,
-                 enabled: bool = True, history: int = 3) -> None:
+                 enabled: bool = True, history: int = 3,
+                 seed_tol_bohr: float = 0.5, max_seeds: int = 64) -> None:
         if history < 1:
             raise ValueError(f"history must be >= 1, got {history}")
         self.max_bytes = int(max_bytes)
         self.enabled = enabled
         self.history = int(history)
+        #: cross-tenant seed guesses: max per-atom displacement (bohr)
+        #: between the stored and requested geometry for a seed to serve
+        self.seed_tol_bohr = float(seed_tol_bohr)
+        self.max_seeds = int(max_seeds)
         self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        #: composition-keyed latest converged densities shared across
+        #: tenants: {seed_key: (D, natoms, coords)}
+        self._seeds: OrderedDict[tuple, tuple] = OrderedDict()
         self._nbytes = 0
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        #: misses answered by another tenant's same-composition density
+        self.seed_hits = 0
         self.evictions = 0
         self.invalidations = 0
+        #: blocking lock acquisitions (another thread held the cache)
+        self.contentions = 0
+        #: per-tenant {tenant: {"hits": n, "misses": n}} for namespaced keys
+        self.tenant_stats: dict[str, dict[str, int]] = {}
         #: SCF iterations spent on cache-hit (warm) and cache-miss
         #: (cold) solves, for the 2-4x savings audit
         self.iters_warm = 0
         self.iters_cold = 0
+
+    @contextmanager
+    def _locked(self):
+        """Hold the cache lock, counting contended acquisitions."""
+        if not self._lock.acquire(blocking=False):
+            self.contentions += 1
+            self._lock.acquire()
+        try:
+            yield
+        finally:
+            self._lock.release()
+
+    def _tenant_record(self, key: tuple | None, outcome: str) -> None:
+        if not key or not isinstance(key[0], str):
+            return
+        t = self.tenant_stats.setdefault(
+            key[0], {"hits": 0, "misses": 0, "seed_hits": 0}
+        )
+        t[outcome] += 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -124,7 +169,9 @@ class GuessCache:
         """Current total payload size of the stored densities."""
         return self._nbytes
 
-    def get(self, key: tuple, natoms: int | None = None) -> np.ndarray | None:
+    def get(self, key: tuple, natoms: int | None = None,
+            seed_key: tuple | None = None,
+            coords: np.ndarray | None = None) -> np.ndarray | None:
         """The extrapolated guess density for ``key``, or None (a miss).
 
         With one stored density it is returned as-is; with more, the
@@ -132,84 +179,146 @@ class GuessCache:
         ``natoms`` mismatch means the fragment no longer has the atom
         set the density was converged for; the entry is invalidated and
         the lookup misses.
-        """
-        entry = self._entries.get(key) if self.enabled else None
-        if entry is not None and natoms is not None \
-                and entry.natoms != natoms:
-            self.invalidate(key)
-            entry = None
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        h = entry.history
-        if len(h) == 1:
-            return h[-1]
-        if len(h) == 2:
-            return 2.0 * h[-1] - h[-2]
-        return 3.0 * h[-1] - 3.0 * h[-2] + h[-3]
 
-    def put(self, key: tuple, D: np.ndarray, natoms: int) -> None:
+        When ``seed_key``/``coords`` are given (the multi-tenant serve
+        path), a per-key miss falls back to the cross-tenant seed store:
+        the latest converged density of *any* tenant's fragment with the
+        same composition key, served only if every atom of the stored
+        geometry lies within ``seed_tol_bohr`` of ``coords``. Ensemble
+        replicas of one system start from identical geometries, so
+        their first solves warm-start off the leading replica instead
+        of all paying the cold start; unrelated same-composition
+        fragments fail the displacement check and stay cold.
+        """
+        with self._locked():
+            entry = self._entries.get(key) if self.enabled else None
+            if entry is not None and natoms is not None \
+                    and entry.natoms != natoms:
+                self.invalidate(key)
+                entry = None
+            if entry is None:
+                seed = self._seed_lookup(seed_key, natoms, coords)
+                if seed is not None:
+                    self.seed_hits += 1
+                    self._tenant_record(key, "seed_hits")
+                    return seed
+                self.misses += 1
+                self._tenant_record(key, "misses")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._tenant_record(key, "hits")
+            h = entry.history
+            if len(h) == 1:
+                return h[-1]
+            if len(h) == 2:
+                return 2.0 * h[-1] - h[-2]
+            return 3.0 * h[-1] - 3.0 * h[-2] + h[-3]
+
+    def _seed_lookup(self, seed_key, natoms, coords):
+        """Cross-tenant seed density, or None. Caller holds the lock."""
+        if seed_key is None or coords is None or not self.enabled:
+            return None
+        stored = self._seeds.get(seed_key)
+        if stored is None:
+            return None
+        D, seed_natoms, seed_coords = stored
+        if natoms is not None and seed_natoms != natoms:
+            return None
+        if seed_coords.shape != np.shape(coords):
+            return None
+        displacement = np.abs(np.asarray(coords) - seed_coords).max()
+        if displacement > self.seed_tol_bohr:
+            return None
+        self._seeds.move_to_end(seed_key)
+        return D
+
+    def put(self, key: tuple, D: np.ndarray, natoms: int,
+            seed_key: tuple | None = None,
+            coords: np.ndarray | None = None) -> None:
         """Store a converged density (the caller must not mutate it).
 
         Appends to the key's history (dropping beyond the history
         depth); a ``natoms`` change discards the stale history first.
+        With ``seed_key``/``coords`` the density also becomes the
+        composition's cross-tenant seed (see `get`).
         """
         if not self.enabled:
             return
-        entry = self._entries.pop(key, None)
-        if entry is not None and entry.natoms != int(natoms):
-            self._nbytes -= entry.nbytes
-            self.invalidations += 1
-            entry = None
-        if entry is None:
-            entry = _CacheEntry(history=[], natoms=int(natoms), nbytes=0)
-        else:
-            self._nbytes -= entry.nbytes
-        entry.history.append(D)
-        del entry.history[:-self.history]
-        # actual bytes held alive (deduplicates repeated arrays and
-        # counts view bases), so the LRU budget tracks real memory
-        entry.nbytes = payload_nbytes(entry.history)
-        self._entries[key] = entry
-        self._nbytes += entry.nbytes
-        while self._nbytes > self.max_bytes and len(self._entries) > 1:
-            _, evicted = self._entries.popitem(last=False)
-            self._nbytes -= evicted.nbytes
-            self.evictions += 1
+        with self._locked():
+            if seed_key is not None and coords is not None:
+                self._seeds[seed_key] = (
+                    D, int(natoms), np.array(coords, copy=True)
+                )
+                self._seeds.move_to_end(seed_key)
+                while len(self._seeds) > self.max_seeds:
+                    self._seeds.popitem(last=False)
+            entry = self._entries.pop(key, None)
+            if entry is not None and entry.natoms != int(natoms):
+                self._nbytes -= entry.nbytes
+                self.invalidations += 1
+                entry = None
+            if entry is None:
+                entry = _CacheEntry(history=[], natoms=int(natoms),
+                                    nbytes=0)
+            else:
+                self._nbytes -= entry.nbytes
+            entry.history.append(D)
+            del entry.history[:-self.history]
+            # actual bytes held alive (deduplicates repeated arrays and
+            # counts view bases), so the LRU budget tracks real memory
+            entry.nbytes = payload_nbytes(entry.history)
+            self._entries[key] = entry
+            self._nbytes += entry.nbytes
+            while self._nbytes > self.max_bytes and len(self._entries) > 1:
+                _, evicted = self._entries.popitem(last=False)
+                self._nbytes -= evicted.nbytes
+                self.evictions += 1
 
     def invalidate(self, key: tuple) -> None:
         """Drop one entry (no-op if absent)."""
-        entry = self._entries.pop(key, None)
-        if entry is not None:
-            self._nbytes -= entry.nbytes
-            self.invalidations += 1
+        with self._locked():
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._nbytes -= entry.nbytes
+                self.invalidations += 1
 
     def clear(self) -> None:
-        """Drop every entry (statistics are kept)."""
-        self._entries.clear()
-        self._nbytes = 0
+        """Drop every entry and seed (statistics are kept)."""
+        with self._locked():
+            self._entries.clear()
+            self._seeds.clear()
+            self._nbytes = 0
 
     def record(self, hit: bool, n_iter: int) -> None:
         """Account one solve's iteration count against hit/miss."""
-        if hit:
-            self.iters_warm += int(n_iter)
-        else:
-            self.iters_cold += int(n_iter)
+        with self._locked():
+            if hit:
+                self.iters_warm += int(n_iter)
+            else:
+                self.iters_cold += int(n_iter)
 
     def stats(self) -> dict:
         """Counters snapshot (hits/misses/iterations/evictions/bytes)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "iters_warm": self.iters_warm,
-            "iters_cold": self.iters_cold,
-            "entries": len(self._entries),
-            "nbytes": self._nbytes,
-        }
+        with self._locked():
+            out = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "seed_hits": self.seed_hits,
+                "seeds": len(self._seeds),
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "contentions": self.contentions,
+                "iters_warm": self.iters_warm,
+                "iters_cold": self.iters_cold,
+                "entries": len(self._entries),
+                "nbytes": self._nbytes,
+            }
+            if self.tenant_stats:
+                out["tenants"] = {
+                    k: dict(v) for k, v in self.tenant_stats.items()
+                }
+            return out
 
     def __repr__(self) -> str:
         return (
@@ -242,8 +351,14 @@ def _solve_scf(mol, basis, recover: bool, tracer=None, guess_cache=None,
     """
     key = getattr(mol, "frag_key", None) if guess_cache is not None else None
     hit = False
+    seed_key = None
+    if key is not None and isinstance(key[0], str):
+        # multi-tenant (job-namespaced) solve: participate in the
+        # cross-tenant composition-keyed seed store too
+        seed_key = (tuple(mol.symbols), int(mol.charge), basis)
     if key is not None:
-        dm0 = guess_cache.get(key, natoms=mol.natoms)
+        dm0 = guess_cache.get(key, natoms=mol.natoms,
+                              seed_key=seed_key, coords=mol.coords)
         if dm0 is not None:
             kwargs["dm0"] = dm0
             hit = True
@@ -253,7 +368,8 @@ def _solve_scf(mol, basis, recover: bool, tracer=None, guess_cache=None,
         res = rhf(mol, basis, **kwargs)
     if key is not None:
         guess_cache.record(hit, res.niter)
-        guess_cache.put(key, res.D, natoms=mol.natoms)
+        guess_cache.put(key, res.D, natoms=mol.natoms,
+                        seed_key=seed_key, coords=mol.coords)
         if tracer:
             tracer.instant(
                 "scf.warm_start", cat="scf", key=str(key), hit=hit,

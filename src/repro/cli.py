@@ -8,6 +8,11 @@ Commands:
 * ``opt <file.xyz>`` — BFGS geometry optimization.
 * ``aimd <file.xyz>`` — fragment AIMD (async or sync) with automatic
   fragmentation into covalently connected monomers.
+* ``submit <specs.json>`` — append one declarative trajectory job spec
+  to a JSON spec file.
+* ``serve <specs.json>`` — run every spec through the multi-tenant
+  streaming trajectory service (fair-share scheduling, shared warm
+  layer, per-job crash-safe resume). See docs/SERVICE.md.
 * ``project`` — exascale Table V-style projection for urea clusters.
 
 All commands print plain-text results; energies in Hartree, geometry in
@@ -351,6 +356,125 @@ def cmd_project(args) -> int:
     return 0
 
 
+def cmd_submit(args) -> int:
+    import json
+    import os
+
+    from .serve import JobSpec
+
+    system: dict = {"kind": args.system}
+    if args.system in ("water", "glycine"):
+        system["n"] = args.n
+        if args.system == "water":
+            system["seed"] = args.system_seed
+    elif args.system == "xyz":
+        if not args.xyz:
+            raise SystemExit("error: --xyz PATH is required for --system xyz")
+        system["path"] = args.xyz
+        system["charge"] = args.charge
+    method: dict = {"kind": args.method}
+    if args.method != "surrogate":
+        method["basis"] = args.basis
+        method["int_screen"] = args.int_screen
+    thermostat = None
+    if args.thermostat == "local-langevin":
+        thermostat = {
+            "kind": "local-langevin",
+            "friction_per_fs": args.friction,
+            "seed": args.seed,
+        }
+    mts = {"k": args.mts_k, "extrapolate": args.mts_extrapolate} \
+        if args.mts_k > 1 else None
+    spec = JobSpec(
+        job_id=args.job_id, system=system, method=method,
+        nsteps=args.steps, dt_fs=args.dt, temperature_k=args.temperature,
+        seed=args.seed, mbe_order=args.order,
+        r_dimer_angstrom=args.r_dimer, r_trimer_angstrom=args.r_trimer,
+        group_size=args.group_size, replan_interval=args.replan_interval,
+        mts=mts, thermostat=thermostat, deterministic=args.deterministic,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_keep=args.checkpoint_keep, weight=args.weight,
+    )
+    specs = []
+    if os.path.exists(args.specs):
+        with open(args.specs, encoding="utf-8") as fh:
+            specs = json.load(fh)
+        if not isinstance(specs, list):
+            raise SystemExit(f"error: {args.specs} is not a JSON list")
+        if any(s.get("job_id") == spec.job_id for s in specs):
+            raise SystemExit(
+                f"error: job id {spec.job_id!r} already in {args.specs}"
+            )
+    specs.append(spec.to_dict())
+    with open(args.specs, "w", encoding="utf-8") as fh:
+        json.dump(specs, fh, indent=2)
+        fh.write("\n")
+    print(f"queued job {spec.job_id!r} ({len(specs)} total) -> {args.specs}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    from .serve import JobSpec, TrajectoryService
+    from .trace import Tracer
+
+    with open(args.specs, encoding="utf-8") as fh:
+        raw = json.load(fh)
+    if not isinstance(raw, list) or not raw:
+        raise SystemExit(f"error: {args.specs} must be a non-empty JSON list")
+    specs = [JobSpec.from_dict(d) for d in raw]
+    tracer = Tracer() if args.trace else None
+    service = TrajectoryService(
+        args.out, nworkers=args.workers, max_active=args.max_active,
+        tracer=tracer, pool=args.pool,
+    )
+    for spec in specs:
+        service.submit(spec)
+    summary = service.run()
+    print(f"served {len(specs)} job(s) -> {args.out}")
+    for job_id in sorted(summary["jobs"]):
+        info = summary["jobs"][job_id]
+        job = service.jobs[job_id]
+        line = (f"  {job_id}: {info['state']}, {info['steps']} steps"
+                + (" (resumed)" if info["resumed"] else ""))
+        lat = info["latency"]
+        if lat["samples"]:
+            line += (f", step latency p50 {lat['p50']*1e3:.1f} ms"
+                     f" p99 {lat['p99']*1e3:.1f} ms")
+        if info["state"] == "completed":
+            tot = job.final_total_energy()
+            line += f", final total energy: {tot:.12f} Ha"
+        if "error" in info:
+            line += f", error: {info['error']}"
+        print(line)
+    print(f"tasks completed: {summary['tasks_completed']}, "
+          f"failed: {summary['tasks_failed']}")
+    warm = summary["warm_layer"]
+    gc = warm["guess_cache"]
+    if gc is not None:
+        print(f"guess cache: {gc['hits']} hits / {gc['misses']} misses, "
+              f"{gc['contentions']} contentions, "
+              f"{len(gc.get('tenants', {}))} tenants")
+    ws = warm["workspace"]
+    print(f"workspace: {ws['hits']} hits / {ws['misses']} misses, "
+          f"{ws['contentions']} contentions")
+    gemm = warm["gemm"]
+    print(f"gemm autotuner: {gemm['shapes_tuned']} shapes tuned, "
+          f"{gemm['contentions']} contentions")
+    if tracer is not None:
+        tracer.write_chrome(args.trace)
+        print(f"wrote chrome trace ({len(tracer.events)} events) "
+              f"to {args.trace}")
+    if args.summary_json:
+        with open(args.summary_json, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, default=str)
+            fh.write("\n")
+    failed = sum(1 for info in summary["jobs"].values()
+                 if info["state"] == "failed")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -444,6 +568,77 @@ def build_parser() -> argparse.ArgumentParser:
                         "at startup if present, preloaded into workers, "
                         "saved atomically at the end of the run)")
     p.set_defaults(func=cmd_aimd)
+
+    p = sub.add_parser(
+        "submit",
+        help="append a trajectory job spec to a JSON spec file",
+    )
+    p.add_argument("specs", help="spec file (JSON list; created if absent)")
+    p.add_argument("--job-id", required=True)
+    p.add_argument("--system", default="water",
+                   choices=["water", "glycine", "xyz"])
+    p.add_argument("-n", type=int, default=4,
+                   help="cluster/chain size for water/glycine systems")
+    p.add_argument("--system-seed", type=int, default=0,
+                   help="placement seed for water clusters")
+    p.add_argument("--xyz", default=None, help="geometry for --system xyz")
+    p.add_argument("--charge", type=int, default=0)
+    p.add_argument("--method", default="surrogate",
+                   choices=["surrogate", "rihf", "rimp2", "hf"])
+    p.add_argument("--basis", default="sto-3g",
+                   choices=["sto-3g", "repro-dz", "repro-dzp", "repro-tz",
+                            "repro-tzp"])
+    p.add_argument("--int-screen", type=float, default=1e-12)
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--dt", type=float, default=0.5, help="time step (fs)")
+    p.add_argument("--temperature", type=float, default=300.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--order", type=int, default=2, choices=[1, 2, 3])
+    p.add_argument("--r-dimer", type=float, default=6.0, help="Angstrom")
+    p.add_argument("--r-trimer", type=float, default=None, help="Angstrom")
+    p.add_argument("--group-size", type=int, default=1)
+    p.add_argument("--replan-interval", type=int, default=1)
+    p.add_argument("--mts-k", type=int, default=1, metavar="K")
+    p.add_argument("--mts-extrapolate", action="store_true")
+    p.add_argument("--thermostat", default="none",
+                   choices=["none", "local-langevin"],
+                   help="local-langevin is the only thermostat valid "
+                        "under asynchronous integration")
+    p.add_argument("--friction", type=float, default=0.01,
+                   help="Langevin friction (1/fs)")
+    p.add_argument("--deterministic", action="store_true",
+                   help="bitwise-reproducible trajectory and resume")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N")
+    p.add_argument("--checkpoint-keep", type=int, default=2, metavar="K")
+    p.add_argument("--weight", type=float, default=1.0,
+                   help="fair-share weight (task draws scale with it)")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a spec file of trajectory jobs as a multi-tenant "
+             "streaming service",
+    )
+    p.add_argument("specs", help="JSON list of job specs (see 'submit')")
+    p.add_argument("--out", default="serve-output",
+                   help="output root; one subdirectory per job "
+                        "[default serve-output]")
+    p.add_argument("--workers", type=int, default=4,
+                   help="shared worker threads evaluating fragment tasks")
+    p.add_argument("--max-active", type=int, default=8,
+                   help="jobs multiplexed at once; the rest queue")
+    p.add_argument("--pool", default="thread",
+                   choices=["thread", "process"],
+                   help="worker pool kind: threads share the in-process "
+                        "warm layer; processes give true parallelism for "
+                        "GIL-holding QM solves on multi-core hosts")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a chrome-trace JSON (includes serve.* "
+                        "and warm_layer instants)")
+    p.add_argument("--summary-json", metavar="PATH", default=None,
+                   help="write the service summary (per-job states, "
+                        "latency percentiles, warm-layer stats) to PATH")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("project", help="exascale projection (Table V style)")
     p.add_argument("--molecules", type=int, default=63854)

@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -64,6 +66,11 @@ class GemmAutoTuner:
     a slow variant permanently; the min over repeats is the standard
     noise-robust estimator for best-case kernel time. Trial calls still
     return real results, so no work is wasted.
+
+    Winner-table and trial-log accesses are serialised under one
+    re-entrant lock so the process-global tuner survives the service's
+    concurrent worker threads; the dgemm itself runs outside the lock.
+    `set_tenant` attributes per-thread call counts to a job id.
     """
 
     enabled: bool = True
@@ -78,6 +85,31 @@ class GemmAutoTuner:
     )
     #: optional `repro.trace.Tracer` recording per-shape decisions
     tracer: object = None
+    #: blocking lock acquisitions (another thread held the tuner)
+    contentions: int = 0
+    #: per-tenant gemm call counts (see `set_tenant`)
+    tenant_calls: dict[str, int] = field(default_factory=dict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+    _tenant: threading.local = field(
+        default_factory=threading.local, repr=False, compare=False
+    )
+
+    @contextmanager
+    def _locked(self):
+        """Hold the table lock, counting contended acquisitions."""
+        if not self._lock.acquire(blocking=False):
+            self.contentions += 1
+            self._lock.acquire()
+        try:
+            yield
+        finally:
+            self._lock.release()
+
+    def set_tenant(self, tenant: str | None) -> None:
+        """Attribute this thread's subsequent gemm calls to ``tenant``."""
+        self._tenant.name = tenant
 
     def gemm(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
         """``A @ B`` with FLOP counting and variant auto-tuning."""
@@ -86,30 +118,41 @@ class GemmAutoTuner:
         if k != k2:
             raise ValueError(f"gemm shape mismatch: {A.shape} @ {B.shape}")
         GLOBAL_COUNTER.add_gemm(m, n, k)
+        tenant = getattr(self._tenant, "name", None)
+        if tenant is not None:
+            with self._locked():
+                self.tenant_calls[tenant] = \
+                    self.tenant_calls.get(tenant, 0) + 1
         if not self.enabled:
             return _gemm_variant(A, B, self.default_variant)
         key = (m, k, n)
-        chosen = self.best.get(key)
+        with self._locked():
+            chosen = self.best.get(key)
+            if chosen is None:
+                done = self.trials.setdefault(key, [])
+                variant = VARIANTS[len(done) % len(VARIANTS)]
         if chosen is not None:
             return _gemm_variant(A, B, chosen)
-        done = self.trials.setdefault(key, [])
-        variant = VARIANTS[len(done) % len(VARIANTS)]
         t0 = time.perf_counter()
         out = _gemm_variant(A, B, variant)
-        done.append((variant, time.perf_counter() - t0))
-        # >= rather than ==: the trial target can move below len(done)
-        # mid-run (trials_per_variant lowered, or a restored trials list
-        # already past it), and an equality check would then never fire
-        # and pin the shape in trial mode forever
-        if len(done) >= len(VARIANTS) * max(1, self.trials_per_variant):
-            times = self._min_times(done)
-            self.best[key] = min(times, key=times.get)
-            if self.tracer:
-                self.tracer.instant(
-                    "gemm.autotune", cat="gemm", shape=str(key),
-                    variant=self.best[key],
-                    trials=len(done),
-                )
+        elapsed = time.perf_counter() - t0
+        with self._locked():
+            done.append((variant, elapsed))
+            # >= rather than ==: the trial target can move below
+            # len(done) mid-run (trials_per_variant lowered, or a
+            # restored trials list already past it), and an equality
+            # check would then never fire and pin the shape in trial
+            # mode forever
+            if key not in self.best and \
+                    len(done) >= len(VARIANTS) * max(1, self.trials_per_variant):
+                times = self._min_times(done)
+                self.best[key] = min(times, key=times.get)
+                if self.tracer:
+                    self.tracer.instant(
+                        "gemm.autotune", cat="gemm", shape=str(key),
+                        variant=self.best[key],
+                        trials=len(done),
+                    )
         return out
 
     @staticmethod
@@ -121,15 +164,31 @@ class GemmAutoTuner:
 
     def report(self) -> list[tuple[tuple[int, int, int], str, dict[str, float]]]:
         """Tuning decisions: (shape, best variant, per-variant min seconds)."""
-        out = []
-        for key, picked in self.best.items():
-            out.append((key, picked, self._min_times(self.trials[key])))
-        return out
+        with self._locked():
+            out = []
+            for key, picked in self.best.items():
+                out.append((key, picked, self._min_times(self.trials[key])))
+            return out
+
+    def stats(self) -> dict:
+        """Counters snapshot (shapes tuned, contention, tenant calls)."""
+        with self._locked():
+            out = {
+                "shapes_tuned": len(self.best),
+                "shapes_in_trial": sum(
+                    1 for k in self.trials if k not in self.best
+                ),
+                "contentions": self.contentions,
+            }
+            if self.tenant_calls:
+                out["tenants"] = dict(self.tenant_calls)
+            return out
 
     def reset(self) -> None:
         """Forget all trials and cached variant choices."""
-        self.best.clear()
-        self.trials.clear()
+        with self._locked():
+            self.best.clear()
+            self.trials.clear()
 
     def save(self, path: str) -> None:
         """Persist the committed winner table as JSON (atomically).
@@ -139,13 +198,14 @@ class GemmAutoTuner:
         through a temp file + ``os.replace`` so a crash mid-write can
         never leave a truncated table behind.
         """
-        payload = {
-            "version": 1,
-            "best": {
-                f"{m}x{k}x{n}": variant
-                for (m, k, n), variant in sorted(self.best.items())
-            },
-        }
+        with self._locked():
+            payload = {
+                "version": 1,
+                "best": {
+                    f"{m}x{k}x{n}": variant
+                    for (m, k, n), variant in sorted(self.best.items())
+                },
+            }
         data = json.dumps(payload, indent=2).encode()
         d = os.path.dirname(os.path.abspath(path))
         os.makedirs(d, exist_ok=True)
@@ -173,18 +233,21 @@ class GemmAutoTuner:
                 f"{payload.get('version')!r}"
             )
         loaded = 0
-        for shape_str, variant in payload.get("best", {}).items():
-            if variant not in VARIANTS:
-                raise ValueError(
-                    f"unknown gemm variant {variant!r} in {path}"
-                )
-            parts = shape_str.split("x")
-            if len(parts) != 3:
-                raise ValueError(f"bad gemm shape key {shape_str!r} in {path}")
-            key = tuple(int(p) for p in parts)
-            if key not in self.best:
-                self.best[key] = variant
-                loaded += 1
+        with self._locked():
+            for shape_str, variant in payload.get("best", {}).items():
+                if variant not in VARIANTS:
+                    raise ValueError(
+                        f"unknown gemm variant {variant!r} in {path}"
+                    )
+                parts = shape_str.split("x")
+                if len(parts) != 3:
+                    raise ValueError(
+                        f"bad gemm shape key {shape_str!r} in {path}"
+                    )
+                key = tuple(int(p) for p in parts)
+                if key not in self.best:
+                    self.best[key] = variant
+                    loaded += 1
         return loaded
 
 

@@ -45,7 +45,9 @@ error estimate.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -163,16 +165,53 @@ class IntegralWorkspace:
         #: key -> (payload, nbytes); LRU order, most recent last
         self._entries: OrderedDict[tuple, tuple[object, int]] = OrderedDict()
         self._nbytes = 0
+        # entry/counter accesses are serialised so the process-global
+        # workspace can back the multi-tenant service's worker threads;
+        # payload *builds* stay outside the lock (duplicate builds are
+        # harmless — payloads are exact)
+        self._lock = threading.RLock()
+        self._tenant = threading.local()
         # counters
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.bound_rebuilds = 0
         self.stale_serves = 0
+        #: blocking lock acquisitions (another thread held the workspace)
+        self.contentions = 0
+        #: per-tenant {tenant: {"hits": n, "misses": n}}
+        self.tenant_stats: dict[str, dict[str, int]] = {}
         # screening accounting (accumulated by the screened drivers)
         self.pairs_total = 0
         self.pairs_skipped = 0
         self.neglected_bound = 0.0
+
+    @contextmanager
+    def _locked(self):
+        """Hold the workspace lock, counting contended acquisitions."""
+        if not self._lock.acquire(blocking=False):
+            self.contentions += 1
+            self._lock.acquire()
+        try:
+            yield
+        finally:
+            self._lock.release()
+
+    def set_tenant(self, tenant: str | None) -> None:
+        """Attribute this thread's subsequent hits/misses to ``tenant``.
+
+        Thread-local: the service's worker threads call this before
+        evaluating a fragment so the shared warm layer's traffic can be
+        reported per job. ``None`` clears the attribution.
+        """
+        self._tenant.name = tenant
+
+    def _tenant_record(self, hit: bool) -> None:
+        name = getattr(self._tenant, "name", None)
+        if name is None:
+            return
+        t = self.tenant_stats.setdefault(name, {"hits": 0, "misses": 0})
+        t["hits" if hit else "misses"] += 1
 
     # ------------------------------------------------------------------
     # LRU plumbing
@@ -186,36 +225,42 @@ class IntegralWorkspace:
         return self._nbytes
 
     def _get(self, key: tuple):
-        if not self.enabled:
-            self.misses += 1
-            return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry[0]
+        with self._locked():
+            if not self.enabled:
+                self.misses += 1
+                self._tenant_record(hit=False)
+                return None
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                self._tenant_record(hit=False)
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._tenant_record(hit=True)
+            return entry[0]
 
     def _put(self, key: tuple, payload, nbytes: int | None = None) -> None:
         if not self.enabled:
             return
         if nbytes is None:
             nbytes = payload_nbytes(payload)
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._nbytes -= old[1]
-        self._entries[key] = (payload, int(nbytes))
-        self._nbytes += int(nbytes)
-        while self._nbytes > self.max_bytes and len(self._entries) > 1:
-            _, (_, freed) = self._entries.popitem(last=False)
-            self._nbytes -= freed
-            self.evictions += 1
+        with self._locked():
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._nbytes -= old[1]
+            self._entries[key] = (payload, int(nbytes))
+            self._nbytes += int(nbytes)
+            while self._nbytes > self.max_bytes and len(self._entries) > 1:
+                _, (_, freed) = self._entries.popitem(last=False)
+                self._nbytes -= freed
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
-        self._entries.clear()
-        self._nbytes = 0
+        with self._locked():
+            self._entries.clear()
+            self._nbytes = 0
 
     # ------------------------------------------------------------------
     # shell-pair expansion tables
@@ -326,7 +371,8 @@ class IntegralWorkspace:
                     )
                 return Q
             if disp <= self.displacement_tol:
-                self.stale_serves += 1
+                with self._locked():
+                    self.stale_serves += 1
                 if self.tracer:
                     self.tracer.instant(
                         "workspace.hit", cat="integrals", product="schwarz",
@@ -334,7 +380,8 @@ class IntegralWorkspace:
                     )
                 return Q * self.stale_safety
         Q = schwarz_pair_bounds(basis, workspace=self)
-        self.bound_rebuilds += 1
+        with self._locked():
+            self.bound_rebuilds += 1
         self._put(key, (Q, coords))
         if self.tracer:
             self.tracer.instant(
@@ -409,9 +456,10 @@ class IntegralWorkspace:
     def record_screen(self, kind: str, pairs_total: int, pairs_skipped: int,
                       neglected_bound: float) -> None:
         """Account one screened driver pass (and emit ``int.screen``)."""
-        self.pairs_total += int(pairs_total)
-        self.pairs_skipped += int(pairs_skipped)
-        self.neglected_bound += float(neglected_bound)
+        with self._locked():
+            self.pairs_total += int(pairs_total)
+            self.pairs_skipped += int(pairs_skipped)
+            self.neglected_bound += float(neglected_bound)
         if self.tracer:
             self.tracer.instant(
                 "int.screen", cat="integrals", kind=kind,
@@ -421,18 +469,25 @@ class IntegralWorkspace:
 
     def stats(self) -> dict:
         """Counters snapshot (cache traffic + screening accounting)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "bound_rebuilds": self.bound_rebuilds,
-            "stale_serves": self.stale_serves,
-            "entries": len(self._entries),
-            "nbytes": self._nbytes,
-            "pairs_total": self.pairs_total,
-            "pairs_skipped": self.pairs_skipped,
-            "neglected_bound": self.neglected_bound,
-        }
+        with self._locked():
+            out = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "bound_rebuilds": self.bound_rebuilds,
+                "stale_serves": self.stale_serves,
+                "contentions": self.contentions,
+                "entries": len(self._entries),
+                "nbytes": self._nbytes,
+                "pairs_total": self.pairs_total,
+                "pairs_skipped": self.pairs_skipped,
+                "neglected_bound": self.neglected_bound,
+            }
+            if self.tenant_stats:
+                out["tenants"] = {
+                    k: dict(v) for k, v in self.tenant_stats.items()
+                }
+            return out
 
     def __repr__(self) -> str:
         return (

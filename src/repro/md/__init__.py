@@ -32,8 +32,19 @@ from .integrators import (
 )
 from .mts import SlowTierState, TieredMBEForces, slow_tier_items
 from .scheduler import AsyncCoordinator, FragmentStub, PolymerTask, run_serial
-from .thermostats import BerendsenThermostat, LangevinThermostat
-from .trajio import load_restart, read_trajectory_xyz, save_restart, write_trajectory_xyz
+from .thermostats import (
+    BerendsenThermostat,
+    LangevinThermostat,
+    LocalLangevinThermostat,
+)
+from .trajio import (
+    TrajectoryStreamWriter,
+    load_restart,
+    read_trajectory_stream,
+    read_trajectory_xyz,
+    save_restart,
+    write_trajectory_xyz,
+)
 
 __all__ = [
     "AsyncCoordinator",
@@ -56,7 +67,10 @@ __all__ = [
     "TransientWorkerError",
     "WorkerFailure",
     "LangevinThermostat",
+    "LocalLangevinThermostat",
+    "TrajectoryStreamWriter",
     "load_restart",
+    "read_trajectory_stream",
     "read_trajectory_xyz",
     "save_restart",
     "write_trajectory_xyz",

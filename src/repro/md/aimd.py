@@ -8,7 +8,6 @@ gradient must finish before any atom moves (paper Sec. VII-A).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -24,36 +23,9 @@ from .integrators import (
     verlet_step,
 )
 from .mts import SlowTierState, TieredMBEForces
+from .trajectory import Trajectory
 
-
-@dataclass
-class Trajectory:
-    """NVE trajectory record."""
-
-    times_fs: list[float] = field(default_factory=list)
-    potential: list[float] = field(default_factory=list)
-    kinetic: list[float] = field(default_factory=list)
-    coords: list[np.ndarray] = field(default_factory=list)
-    velocities: list[np.ndarray] = field(default_factory=list)
-    wall_times: list[float] = field(default_factory=list)
-
-    @property
-    def total(self) -> np.ndarray:
-        """Total energy (potential + kinetic) per frame."""
-        return np.asarray(self.potential) + np.asarray(self.kinetic)
-
-    def energy_drift(self) -> float:
-        """Linear drift of the total energy, Hartree per fs."""
-        t = np.asarray(self.times_fs)
-        e = self.total
-        if len(t) < 2:
-            return 0.0
-        return float(np.polyfit(t, e, 1)[0])
-
-    def energy_fluctuation(self) -> float:
-        """RMS fluctuation of the total energy about its mean (Hartree)."""
-        e = self.total
-        return float(np.sqrt(np.mean((e - e.mean()) ** 2)))
+__all__ = ["Trajectory", "run_aimd"]
 
 
 def run_aimd(

@@ -107,6 +107,8 @@ class AsyncCoordinator:
         fault_plan=None,
         mts_k: int = 1,
         mts_extrapolate: bool = False,
+        thermostat=None,
+        step_callback=None,
     ) -> None:
         self.system = system
         self.nsteps = nsteps
@@ -172,6 +174,19 @@ class AsyncCoordinator:
         self.guess_cache = (
             GuessCache() if warm_start and not deterministic else None
         )
+        #: per-monomer thermostat (duck-typed ``apply_rows``; see
+        #: `repro.md.thermostats.LocalLangevinThermostat`). Applied to a
+        #: monomer's rows right after its arrival kicks, before the
+        #: kinetic-energy measurement and the checkpoint velocity
+        #: snapshot — sequential-stream thermostats cannot go here (the
+        #: asynchronous completion order would scramble their noise).
+        self.thermostat = thermostat
+        #: ``step_callback(step, pe, ke, coords)`` fired exactly once per
+        #: step, at the moment the step fully retires (every monomer has
+        #: measured its kinetic energy). ``coords`` is a private copy.
+        #: This is the streaming hook the trajectory service subscribes
+        #: through; errors propagate to the driver.
+        self.step_callback = step_callback
         #: incremental-replan statistics (windows diffed vs rebuilt)
         self.replans_incremental = 0
         self.replan_added = 0
@@ -887,6 +902,11 @@ class AsyncCoordinator:
                 self.velocities[rows] += (
                     0.5 * self.mts_k * self.dt * acc_slow
                 )
+            if self.thermostat is not None:
+                self.velocities[rows] = self.thermostat.apply_rows(
+                    self.velocities[rows], self.masses[rows], self.dt_fs,
+                    step=step, monomer=m,
+                )
         # kinetic energy at integer step
         ke = 0.5 * float(
             np.sum(self.masses[rows, None] * self.velocities[rows] ** 2)
@@ -906,6 +926,16 @@ class AsyncCoordinator:
                 parts = self._ke_parts[step]
                 self._ke[step] = sum(parts[i] for i in sorted(parts))
             self.kinetic_energies[step] = self._ke[step]
+            if self.step_callback is not None:
+                # fired before eviction can reclaim coords_at[step]; the
+                # potential is already reduced (the last monomer can only
+                # integrate after every polymer of the step completed)
+                self.step_callback(
+                    step,
+                    self.potential_energies.get(step),
+                    self._ke[step],
+                    self.coords_at[step].copy(),
+                )
             if self._checkpoint_candidate(step):
                 # every monomer has integrated through this step: the
                 # (coords_at[step], vel_at[step]) pair is a consistent

@@ -1,0 +1,46 @@
+"""Trajectory record shared by every driver (engine/policy split).
+
+`Trajectory` is the pure data product of a run — times, energies,
+frames — with the conservation diagnostics computed from it. It used to
+live inside `repro.md.aimd` next to the synchronous driving loop; the
+trajectory *service* (`repro.serve`) assembles the same record from
+asynchronous per-step events, so the record now stands alone and both
+drivers (and `repro.md.trajio`) import it from here. `repro.md.aimd`
+re-exports it for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Trajectory:
+    """NVE trajectory record."""
+
+    times_fs: list[float] = field(default_factory=list)
+    potential: list[float] = field(default_factory=list)
+    kinetic: list[float] = field(default_factory=list)
+    coords: list[np.ndarray] = field(default_factory=list)
+    velocities: list[np.ndarray] = field(default_factory=list)
+    wall_times: list[float] = field(default_factory=list)
+
+    @property
+    def total(self) -> np.ndarray:
+        """Total energy (potential + kinetic) per frame."""
+        return np.asarray(self.potential) + np.asarray(self.kinetic)
+
+    def energy_drift(self) -> float:
+        """Linear drift of the total energy, Hartree per fs."""
+        t = np.asarray(self.times_fs)
+        e = self.total
+        if len(t) < 2:
+            return 0.0
+        return float(np.polyfit(t, e, 1)[0])
+
+    def energy_fluctuation(self) -> float:
+        """RMS fluctuation of the total energy about its mean (Hartree)."""
+        e = self.total
+        return float(np.sqrt(np.mean((e - e.mean()) ** 2)))

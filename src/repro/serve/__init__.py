@@ -1,0 +1,40 @@
+"""AIMD-as-a-service: multi-tenant streaming trajectory serving.
+
+The single-run drivers (`repro.md.aimd.run_aimd`, `repro.md.drivers`)
+execute one trajectory per invocation, so the warm layers — SCF guess
+densities, integral workspace products, GEMM winner tables — amortize
+over exactly one job. This package turns the same coordinator state
+machine into a service: declarative `JobSpec` submissions, a fair-share
+`FragmentScheduler` multiplexing every active job's fragment tasks onto
+one worker pool, per-step results streamed through a backpressured
+`ResultChannel`, and per-job crash-safe resume from rotated
+checkpoints. See docs/SERVICE.md for the protocol.
+"""
+
+from .scheduler import FragmentScheduler, task_cost
+from .service import JobQueue, TrajectoryService
+from .session import (
+    JobSpec,
+    JobState,
+    TrajectoryJob,
+    build_calculator,
+    build_system,
+    build_thermostat,
+)
+from .streams import ResultChannel, StreamEvent, Subscription
+
+__all__ = [
+    "FragmentScheduler",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "ResultChannel",
+    "StreamEvent",
+    "Subscription",
+    "TrajectoryJob",
+    "TrajectoryService",
+    "build_calculator",
+    "build_system",
+    "build_thermostat",
+    "task_cost",
+]

@@ -1,0 +1,408 @@
+"""The multi-tenant trajectory service: queue, pump loop, worker pool.
+
+`TrajectoryService` drives any number of `TrajectoryJob` sessions
+concurrently over one shared `ThreadPoolExecutor`:
+
+* **admission** — `submit` materializes a `JobSpec` into a job and
+  places it on the `JobQueue`; up to ``max_active`` jobs are registered
+  with the fair-share `FragmentScheduler` at a time, the rest wait;
+* **pump loop** — a single thread draws fragment tasks fairly across
+  active jobs, dispatches them to the pool, and feeds results back into
+  each job's coordinator. All coordinator/session mutation happens on
+  the pump thread; worker threads touch only calculators and the shared
+  caches, which is exactly the surface made lock-safe for this service
+  (`GuessCache`, `IntegralWorkspace`, `GemmAutoTuner`);
+* **warm layer** — one process-wide `GuessCache` / `IntegralWorkspace` /
+  GEMM winner table serves every job, with per-tenant attribution
+  (job-namespaced fragment keys, thread-local tenant tags) and
+  ``warm_layer`` tracer/stream snapshots;
+* **backpressure** — before releasing a job's tasks the pump consults
+  `ResultChannel.should_throttle`; saturated subscribers pause that
+  job's dispatch (frames are never dropped);
+* **isolation** — a task failure fails only its own job (the job is
+  finalized as FAILED and unregistered); other tenants keep running.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import threading
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..calculators import GuessCache
+from ..gemm.autotune import GLOBAL_TUNER
+from ..integrals.workspace import get_workspace
+from ..numerics import ensure_finite
+from .scheduler import FragmentScheduler
+from .session import JobSpec, JobState, TrajectoryJob
+from .streams import ResultChannel, StreamEvent
+
+#: worker-process guess cache (`pool="process"`): module state survives
+#: from task to task, exactly like `repro.md.drivers._WORKER_GUESS_CACHE`
+_WORKER_GUESS_CACHE: GuessCache | None = None
+
+
+def _process_evaluate(calculator, molecule, tenant: str,
+                      warm_start: bool, deterministic: bool):
+    """Worker-process entry point (``pool="process"``).
+
+    The worker's process-global caches form its slice of the warm
+    layer: the guess cache and GEMM winner table persist from task to
+    task and are shared by every tenant the worker serves (fragment
+    keys arrive job-namespaced, so densities never cross tenants).
+    ``deterministic`` forces exact Schwarz re-screens for the single
+    evaluation; workers are single-threaded, so the save/restore cannot
+    race.
+    """
+    global _WORKER_GUESS_CACHE
+    if warm_start and getattr(calculator, "guess_cache", "no") is None:
+        if _WORKER_GUESS_CACHE is None:
+            _WORKER_GUESS_CACHE = GuessCache()
+        calculator.guess_cache = _WORKER_GUESS_CACHE
+    workspace = get_workspace()
+    workspace.set_tenant(tenant)
+    GLOBAL_TUNER.set_tenant(tenant)
+    saved_tol = workspace.displacement_tol
+    if deterministic:
+        workspace.displacement_tol = 0.0
+    try:
+        e, g = calculator.energy_gradient(molecule)
+        ensure_finite(
+            f"job {tenant} fragment "
+            f"({getattr(molecule, 'natoms', '?')} atoms)",
+            energy=e, gradient=g,
+        )
+        return e, g
+    finally:
+        workspace.displacement_tol = saved_tol
+        workspace.set_tenant(None)
+        GLOBAL_TUNER.set_tenant(None)
+
+
+class JobQueue:
+    """Thread-safe FIFO of materialized jobs awaiting activation."""
+
+    def __init__(self) -> None:
+        self._pending: deque[TrajectoryJob] = deque()
+        self._lock = threading.Lock()
+
+    def put(self, job: TrajectoryJob) -> None:
+        with self._lock:
+            self._pending.append(job)
+
+    def pop(self) -> TrajectoryJob | None:
+        with self._lock:
+            return self._pending.popleft() if self._pending else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+
+@dataclass
+class _Flight:
+    job_id: str
+    task: object
+    cost: float
+    t_dispatch: float
+
+
+class TrajectoryService:
+    """Fair-share streaming AIMD service over a shared worker pool.
+
+    Args:
+        out_root: directory receiving one subdirectory per job.
+        nworkers: worker threads evaluating fragment tasks.
+        max_active: jobs multiplexed at once (others wait in the queue).
+        channel: results channel (one is created if not given).
+        tracer: optional `repro.trace.Tracer`; receives ``serve.*`` and
+            ``warm_layer`` instants.
+        warm_layer: share one `GuessCache` across (non-deterministic)
+            jobs, keyed per tenant.
+        pool: ``"thread"`` (default) evaluates fragments on worker
+            threads sharing the in-process warm layer — right for the
+            surrogate potential and for tests. ``"process"`` uses a
+            `ProcessPoolExecutor` like the fault-tolerant cluster
+            driver: QM fragment solves hold the GIL, so only processes
+            turn multi-tenant multiplexing into wall-clock throughput;
+            each worker keeps its own process-global warm layer
+            (tenant-namespaced, persistent across jobs).
+        mp_start: multiprocessing start method for ``pool="process"``.
+    """
+
+    def __init__(self, out_root: str | Path, nworkers: int = 4,
+                 max_active: int = 8, channel: ResultChannel | None = None,
+                 tracer=None, warm_layer: bool = True,
+                 pool: str = "thread", mp_start: str = "fork") -> None:
+        if pool not in ("thread", "process"):
+            raise ValueError(f"pool must be 'thread' or 'process', got {pool!r}")
+        self.out_root = Path(out_root)
+        self.out_root.mkdir(parents=True, exist_ok=True)
+        self.nworkers = max(1, int(nworkers))
+        self.max_active = max(1, int(max_active))
+        self.pool_kind = pool
+        self.mp_start = mp_start
+        self.channel = channel if channel is not None else ResultChannel()
+        self.tracer = tracer
+        self.queue = JobQueue()
+        self.scheduler = FragmentScheduler()
+        self.jobs: dict[str, TrajectoryJob] = {}
+        self.guess_cache = GuessCache() if warm_layer else None
+        self._stop = threading.Event()
+        self._process_clones: dict[str, object] = {}
+        self.tasks_completed = 0
+        self.tasks_failed = 0
+
+    # -- admission ------------------------------------------------------
+    def submit(self, spec: JobSpec) -> TrajectoryJob:
+        """Materialize a spec (resuming from its checkpoints if present)
+        and enqueue it. Returns the job handle."""
+        if spec.job_id in self.jobs:
+            raise ValueError(f"job {spec.job_id!r} already submitted")
+        job = TrajectoryJob(
+            spec, self.out_root, channel=self.channel, tracer=self.tracer
+        )
+        if (
+            self.pool_kind == "thread"
+            and self.guess_cache is not None
+            and not spec.deterministic
+            and getattr(job.calculator, "guess_cache", "no") is None
+        ):
+            # the shared multi-tenant warm layer; tenant separation via
+            # job-namespaced fragment keys (see TrajectoryJob). With
+            # pool="process" the warm layer lives per worker process
+            # instead (see _process_evaluate)
+            job.calculator.guess_cache = self.guess_cache
+        if spec.deterministic:
+            # exact Schwarz re-screens for every tenant while a
+            # deterministic job is present: the workspace is process-
+            # global, so the strictest tenant pins the tolerance
+            get_workspace().displacement_tol = 0.0
+        self.jobs[spec.job_id] = job
+        self.queue.put(job)
+        if self.tracer:
+            self.tracer.instant(
+                "serve.submit", cat="serve", job=spec.job_id,
+                nsteps=spec.nsteps, weight=spec.weight,
+            )
+        return job
+
+    def request_stop(self) -> None:
+        """Graceful stop: finish in-flight tasks, then return from `run`.
+
+        Unfinished jobs are finalized as INTERRUPTED; their checkpoints
+        and committed trajectory frames survive, so resubmitting the
+        same specs against the same ``out_root`` resumes them.
+        """
+        self._stop.set()
+
+    # -- worker side ----------------------------------------------------
+    def _evaluate(self, job: TrajectoryJob, task):
+        workspace = get_workspace()
+        workspace.set_tenant(job.spec.job_id)
+        GLOBAL_TUNER.set_tenant(job.spec.job_id)
+        try:
+            e, g = job.calculator.energy_gradient(task.molecule)
+            ensure_finite(
+                f"job {job.spec.job_id} polymer {task.key} "
+                f"(step {task.step})", energy=e, gradient=g,
+            )
+            return e, g
+        finally:
+            workspace.set_tenant(None)
+            GLOBAL_TUNER.set_tenant(None)
+
+    def _picklable_calculator(self, job: TrajectoryJob):
+        """A calculator clone safe to ship to a worker process.
+
+        Unpicklable in-process state (shared caches, tracer hooks) is
+        stripped; the worker re-attaches its own process-global warm
+        layer (`_process_evaluate`). Memoized per job.
+        """
+        job_id = job.spec.job_id
+        clone = self._process_clones.get(job_id)
+        if clone is None:
+            calc = job.calculator
+            if dataclasses.is_dataclass(calc) and hasattr(calc, "guess_cache"):
+                clone = dataclasses.replace(
+                    calc, guess_cache=None, workspace=None, tracer=None
+                )
+            else:
+                clone = calc
+            self._process_clones[job_id] = clone
+        return clone
+
+    # -- pump loop ------------------------------------------------------
+    def _activate_pending(self) -> None:
+        while len(self.scheduler) < self.max_active:
+            job = self.queue.pop()
+            if job is None:
+                return
+            job.mark_running()
+            self.scheduler.register(
+                job.spec.job_id, job, weight=job.spec.weight
+            )
+
+    def _fail_job(self, job_id: str, err: BaseException) -> None:
+        job = self.jobs[job_id]
+        self.scheduler.unregister(job_id)
+        job.finalize(JobState.FAILED, error=repr(err))
+        if self.tracer:
+            self.tracer.instant(
+                "serve.job_failed", cat="serve", job=job_id, error=repr(err)
+            )
+
+    def _publish_warm_layer(self) -> None:
+        snapshot = {
+            "guess_cache": (
+                self.guess_cache.stats()
+                if self.guess_cache is not None else None
+            ),
+            "workspace": get_workspace().stats(),
+            "gemm": GLOBAL_TUNER.stats(),
+        }
+        if self.tracer:
+            self.tracer.instant("warm_layer", cat="serve", **{
+                "guess_hits": (snapshot["guess_cache"] or {}).get("hits", 0),
+                "guess_misses": (
+                    (snapshot["guess_cache"] or {}).get("misses", 0)
+                ),
+                "ws_hits": snapshot["workspace"]["hits"],
+                "ws_misses": snapshot["workspace"]["misses"],
+                "ws_contentions": snapshot["workspace"]["contentions"],
+            })
+        self.channel.publish(StreamEvent(
+            job_id="", kind="warm_layer", payload=snapshot,
+        ))
+
+    def run(self, poll_s: float = 0.05) -> dict:
+        """Pump all submitted jobs to completion; returns the summary.
+
+        Single-threaded mutation: only this thread touches coordinators,
+        sessions, and the fragment scheduler. Returns once every job is
+        terminal (or, after `request_stop`, once in-flight tasks have
+        drained and the rest are finalized as INTERRUPTED).
+        """
+        flights: dict = {}
+        if self.pool_kind == "process":
+            pool = ProcessPoolExecutor(
+                max_workers=self.nworkers,
+                mp_context=mp.get_context(self.mp_start),
+            )
+        else:
+            pool = ThreadPoolExecutor(
+                max_workers=self.nworkers, thread_name_prefix="serve-worker"
+            )
+        try:
+            while True:
+                self._activate_pending()
+                if not self._stop.is_set():
+                    throttled = {
+                        job_id for job_id in list(self.scheduler.stats())
+                        if self.channel.should_throttle(job_id)
+                    }
+                    while len(flights) < self.nworkers:
+                        drawn = self.scheduler.next_task(throttled)
+                        if drawn is None:
+                            break
+                        job_id, task, cost = drawn
+                        job = self.jobs[job_id]
+                        job.namespace_task(task)
+                        if self.pool_kind == "process":
+                            fut = pool.submit(
+                                _process_evaluate,
+                                self._picklable_calculator(job),
+                                task.molecule, job_id,
+                                not job.spec.deterministic,
+                                job.spec.deterministic,
+                            )
+                        else:
+                            fut = pool.submit(self._evaluate, job, task)
+                        flights[fut] = _Flight(
+                            job_id, task, cost, time.perf_counter()
+                        )
+                if not flights:
+                    if self._stop.is_set():
+                        break
+                    if not self.scheduler and len(self.queue) == 0:
+                        break
+                    # every active job is throttled or briefly taskless;
+                    # wait for subscribers to drain
+                    time.sleep(poll_s)
+                    continue
+                done, _ = wait(
+                    flights, timeout=poll_s, return_when=FIRST_COMPLETED
+                )
+                for fut in done:
+                    flight = flights.pop(fut)
+                    job_id = flight.job_id
+                    self.scheduler.task_done(job_id, flight.cost)
+                    if job_id not in self.scheduler:
+                        continue  # job already failed; drop the result
+                    job = self.jobs[job_id]
+                    try:
+                        e, g = fut.result()
+                        job.coordinator.complete(flight.task, e, g)
+                        self.tasks_completed += 1
+                    except Exception as err:
+                        self.tasks_failed += 1
+                        self._fail_job(job_id, err)
+                        continue
+                    if job.done():
+                        self.scheduler.unregister(job_id)
+                        job.finalize(JobState.COMPLETED)
+                        if self.tracer:
+                            self.tracer.instant(
+                                "serve.job_completed", cat="serve",
+                                job=job_id, steps=job.steps_emitted,
+                            )
+        finally:
+            pool.shutdown(wait=True)
+            for job in self.jobs.values():
+                if job.state in (JobState.RUNNING, JobState.PENDING):
+                    self.scheduler.unregister(job.spec.job_id)
+                    job.finalize(JobState.INTERRUPTED)
+            self._publish_warm_layer()
+        return self.summary()
+
+    # -- reporting ------------------------------------------------------
+    def summary(self) -> dict:
+        """Per-job outcomes plus warm-layer and channel counters."""
+        jobs = {}
+        for job_id, job in self.jobs.items():
+            entry = {
+                "state": job.state,
+                "steps": job.steps_emitted,
+                "resumed": job.resumed_from is not None,
+                "latency": job.latency_percentiles(),
+            }
+            if job.error:
+                entry["error"] = job.error
+            if job.started_at is not None and job.finished_at is not None:
+                entry["wall_s"] = job.finished_at - job.started_at
+            jobs[job_id] = entry
+        return {
+            "jobs": jobs,
+            "tasks_completed": self.tasks_completed,
+            "tasks_failed": self.tasks_failed,
+            "fair_share": self.scheduler.stats(),
+            "channel": self.channel.stats(),
+            "warm_layer": {
+                "guess_cache": (
+                    self.guess_cache.stats()
+                    if self.guess_cache is not None else None
+                ),
+                "workspace": get_workspace().stats(),
+                "gemm": GLOBAL_TUNER.stats(),
+            },
+        }

@@ -1,0 +1,175 @@
+"""Streaming results channel: bounded subscriptions with backpressure.
+
+Per-step results (energies, coordinates committed to the trajectory
+stream, job status transitions, warm-layer snapshots) are published as
+`StreamEvent` records to a `ResultChannel`. Subscribers attach bounded
+buffers; when a subscriber falls behind, the channel does **not** drop
+frames — instead `ResultChannel.should_throttle` reports the jobs whose
+subscribers are saturated and the service pump stops *releasing tasks*
+for those jobs until the buffers drain below the low watermark. The
+buffer can therefore overshoot its capacity only by the frames already
+in flight when the throttle engaged — a bound set by the coordinator's
+live-step skew, not by the trajectory length.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One item on the results stream.
+
+    ``kind`` is one of ``step`` (a retired MD step), ``status`` (a job
+    state transition), or ``warm_layer`` (a shared-cache counters
+    snapshot); ``payload`` carries the kind-specific fields.
+    """
+
+    job_id: str
+    kind: str
+    step: int | None = None
+    payload: dict = field(default_factory=dict)
+
+
+class Subscription:
+    """One subscriber's buffered view of the channel.
+
+    Events are delivered in publish order. ``get`` blocks (with an
+    optional timeout) until an event arrives or the subscription is
+    closed and drained.
+    """
+
+    def __init__(self, channel: "ResultChannel", job_id: str | None,
+                 capacity: int) -> None:
+        self._channel = channel
+        self.job_id = job_id
+        self.capacity = capacity
+        self._buf: deque[StreamEvent] = deque()
+        self._closed = False
+
+    def _matches(self, event: StreamEvent) -> bool:
+        return self.job_id is None or event.job_id == self.job_id
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def get(self, timeout: float | None = None) -> StreamEvent | None:
+        """Next event, or None on timeout / closed-and-drained."""
+        with self._channel._cond:
+            self._channel._cond.wait_for(
+                lambda: self._buf or self._closed, timeout=timeout
+            )
+            if not self._buf:
+                return None
+            event = self._buf.popleft()
+            self._channel._cond.notify_all()
+            return event
+
+    def drain(self) -> list[StreamEvent]:
+        """All currently buffered events (non-blocking)."""
+        with self._channel._cond:
+            out = list(self._buf)
+            self._buf.clear()
+            self._channel._cond.notify_all()
+            return out
+
+    def close(self) -> None:
+        """Detach from the channel; buffered events remain drainable."""
+        with self._channel._cond:
+            self._closed = True
+            self._channel._subs.discard(self)
+            self._channel._cond.notify_all()
+
+
+class ResultChannel:
+    """Publish/subscribe hub for `StreamEvent` records.
+
+    ``capacity`` is the per-subscription buffer bound; the throttle
+    engages at ``high_watermark`` (default ``capacity // 2``) and
+    releases at ``low_watermark`` (default ``capacity // 4``), so a
+    briefly slow consumer does not flap the scheduler.
+    """
+
+    def __init__(self, capacity: int = 64,
+                 high_watermark: int | None = None,
+                 low_watermark: int | None = None) -> None:
+        if capacity < 4:
+            raise ValueError(f"capacity must be >= 4, got {capacity}")
+        self.capacity = int(capacity)
+        self.high_watermark = (
+            high_watermark if high_watermark is not None else capacity // 2
+        )
+        self.low_watermark = (
+            low_watermark if low_watermark is not None else capacity // 4
+        )
+        if not 0 < self.low_watermark < self.high_watermark <= capacity:
+            raise ValueError(
+                f"watermarks must satisfy 0 < low < high <= capacity, got "
+                f"low={self.low_watermark} high={self.high_watermark}"
+            )
+        self._cond = threading.Condition()
+        self._subs: set[Subscription] = set()
+        #: jobs currently held back by a saturated subscriber
+        self._throttled: set[str] = set()
+        self.events_published = 0
+        #: publishes that landed in an over-watermark buffer
+        self.stalls = 0
+
+    def subscribe(self, job_id: str | None = None,
+                  capacity: int | None = None) -> Subscription:
+        """New subscription (``job_id=None`` receives every job)."""
+        sub = Subscription(
+            self, job_id, capacity if capacity is not None else self.capacity
+        )
+        with self._cond:
+            self._subs.add(sub)
+        return sub
+
+    def publish(self, event: StreamEvent) -> None:
+        """Deliver to every matching subscription (never drops)."""
+        with self._cond:
+            self.events_published += 1
+            for sub in self._subs:
+                if sub._matches(event):
+                    sub._buf.append(event)
+                    if len(sub._buf) > self.high_watermark:
+                        self.stalls += 1
+            self._cond.notify_all()
+
+    def should_throttle(self, job_id: str) -> bool:
+        """True while the job's task release should be held back.
+
+        Hysteresis: engages when any matching subscription is above the
+        high watermark, releases only once all are at or below the low
+        watermark.
+        """
+        with self._cond:
+            depth = max(
+                (
+                    len(sub._buf) for sub in self._subs
+                    if sub.job_id is None or sub.job_id == job_id
+                ),
+                default=0,
+            )
+            if job_id in self._throttled:
+                if depth <= self.low_watermark:
+                    self._throttled.discard(job_id)
+                    return False
+                return True
+            if depth > self.high_watermark:
+                self._throttled.add(job_id)
+                return True
+            return False
+
+    def stats(self) -> dict:
+        """Counters snapshot."""
+        with self._cond:
+            return {
+                "events_published": self.events_published,
+                "stalls": self.stalls,
+                "subscriptions": len(self._subs),
+                "throttled_jobs": sorted(self._throttled),
+            }

@@ -122,3 +122,54 @@ class TestCommands:
         assert rc == 0
         assert out_file.exists()
         assert "converged: True" in capsys.readouterr().out
+
+
+class TestServeCommands:
+    def test_submit_then_serve(self, tmp_path, capsys):
+        specs = str(tmp_path / "specs.json")
+        rc = main([
+            "submit", specs, "--job-id", "a", "--system", "water", "-n", "3",
+            "--steps", "4", "--deterministic", "--checkpoint-every", "2",
+        ])
+        assert rc == 0
+        rc = main([
+            "submit", specs, "--job-id", "b", "--system", "water", "-n", "2",
+            "--steps", "4", "--weight", "2.0",
+            "--thermostat", "local-langevin",
+        ])
+        assert rc == 0
+        out_dir = tmp_path / "out"
+        rc = main([
+            "serve", specs, "--out", str(out_dir), "--workers", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served 2 job(s)" in out
+        assert "a: completed" in out
+        assert "b: completed" in out
+        assert "final total energy:" in out
+        assert (out_dir / "a" / "trajectory.xyz").exists()
+        assert (out_dir / "b" / "trajectory.xyz").exists()
+
+    def test_submit_rejects_duplicate_job_id(self, tmp_path, capsys):
+        specs = str(tmp_path / "specs.json")
+        assert main(["submit", specs, "--job-id", "a"]) == 0
+        with pytest.raises(SystemExit, match="already in"):
+            main(["submit", specs, "--job-id", "a"])
+
+    def test_serve_trace_artifact(self, tmp_path, capsys):
+        specs = str(tmp_path / "specs.json")
+        main(["submit", specs, "--job-id", "t", "--steps", "3"])
+        trace = tmp_path / "trace.json"
+        rc = main([
+            "serve", specs, "--out", str(tmp_path / "out"),
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        assert trace.exists()
+        import json
+
+        events = json.loads(trace.read_text())["traceEvents"]
+        names = {e["name"] for e in events}
+        assert "serve.submit" in names
+        assert "warm_layer" in names
