@@ -17,7 +17,6 @@ sizes via the aggregate scheduler.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import format_table
 from repro.cluster import (

@@ -25,7 +25,6 @@ def mulliken_charges(res: "SCFResult", density: np.ndarray | None = None) -> np.
     PS = D @ res.S
     pops = np.diag(PS)
     atoms = res.basis.function_atoms()
-    natoms = res.mol.natoms
     q = res.mol.atomic_numbers.astype(float)
     for mu, a in enumerate(atoms):
         q[a] -= pops[mu]

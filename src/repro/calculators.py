@@ -111,10 +111,17 @@ class GuessCache:
 
     def __init__(self, max_bytes: int = 256 * 2**20,
                  enabled: bool = True, history: int = 3,
-                 seed_tol_bohr: float = 0.5, max_seeds: int = 64) -> None:
+                 seed_tol_bohr: float = 0.5, max_seeds: int = 64,
+                 tenant_max_bytes: int | None = None) -> None:
         if history < 1:
             raise ValueError(f"history must be >= 1, got {history}")
         self.max_bytes = int(max_bytes)
+        #: optional per-tenant byte ceiling for namespaced keys: one
+        #: tenant streaming large fragments can then only evict its own
+        #: LRU densities, never another job's warm history
+        self.tenant_max_bytes = (
+            int(tenant_max_bytes) if tenant_max_bytes is not None else None
+        )
         self.enabled = enabled
         self.history = int(history)
         #: cross-tenant seed guesses: max per-atom displacement (bohr)
@@ -135,8 +142,12 @@ class GuessCache:
         self.invalidations = 0
         #: blocking lock acquisitions (another thread held the cache)
         self.contentions = 0
-        #: per-tenant {tenant: {"hits": n, "misses": n}} for namespaced keys
+        #: per-tenant {tenant: {"hits": n, "misses": n, ...}} for
+        #: namespaced keys; evictions are attributed to the tenant that
+        #: owned the evicted entry, not the tenant whose put triggered it
         self.tenant_stats: dict[str, dict[str, int]] = {}
+        #: per-tenant resident bytes for namespaced keys
+        self._tenant_nbytes: dict[str, int] = {}
         #: SCF iterations spent on cache-hit (warm) and cache-miss
         #: (cold) solves, for the 2-4x savings audit
         self.iters_warm = 0
@@ -157,9 +168,35 @@ class GuessCache:
         if not key or not isinstance(key[0], str):
             return
         t = self.tenant_stats.setdefault(
-            key[0], {"hits": 0, "misses": 0, "seed_hits": 0}
+            key[0],
+            {"hits": 0, "misses": 0, "seed_hits": 0, "evictions": 0},
         )
+        t.setdefault(outcome, 0)
         t[outcome] += 1
+
+    @staticmethod
+    def _tenant_of(key: tuple | None) -> str | None:
+        """Tenant namespace of a key, or None for un-namespaced keys."""
+        if key and isinstance(key[0], str):
+            return key[0]
+        return None
+
+    def _tenant_bytes_add(self, tenant: str | None, delta: int) -> None:
+        """Adjust a tenant's resident-byte count (caller holds lock)."""
+        if tenant is None:
+            return
+        total = self._tenant_nbytes.get(tenant, 0) + delta
+        if total > 0:
+            self._tenant_nbytes[tenant] = total
+        else:
+            self._tenant_nbytes.pop(tenant, None)
+
+    def _evict(self, key: tuple, entry: _CacheEntry) -> None:
+        """Account one eviction of an already-popped entry."""
+        self._nbytes -= entry.nbytes
+        self._tenant_bytes_add(self._tenant_of(key), -entry.nbytes)
+        self.evictions += 1
+        self._tenant_record(key, "evictions")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -253,9 +290,11 @@ class GuessCache:
                 self._seeds.move_to_end(seed_key)
                 while len(self._seeds) > self.max_seeds:
                     self._seeds.popitem(last=False)
+            tenant = self._tenant_of(key)
             entry = self._entries.pop(key, None)
             if entry is not None and entry.natoms != int(natoms):
                 self._nbytes -= entry.nbytes
+                self._tenant_bytes_add(tenant, -entry.nbytes)
                 self.invalidations += 1
                 entry = None
             if entry is None:
@@ -263,6 +302,7 @@ class GuessCache:
                                     nbytes=0)
             else:
                 self._nbytes -= entry.nbytes
+                self._tenant_bytes_add(tenant, -entry.nbytes)
             entry.history.append(D)
             del entry.history[:-self.history]
             # actual bytes held alive (deduplicates repeated arrays and
@@ -270,10 +310,23 @@ class GuessCache:
             entry.nbytes = payload_nbytes(entry.history)
             self._entries[key] = entry
             self._nbytes += entry.nbytes
+            self._tenant_bytes_add(tenant, entry.nbytes)
+            # quota eviction first: only the over-budget tenant's own
+            # LRU entries go, and never the entry just stored
+            if tenant is not None and self.tenant_max_bytes is not None:
+                while self._tenant_nbytes.get(tenant, 0) \
+                        > self.tenant_max_bytes:
+                    victim = next(
+                        (k for k in self._entries
+                         if k != key and self._tenant_of(k) == tenant),
+                        None,
+                    )
+                    if victim is None:
+                        break
+                    self._evict(victim, self._entries.pop(victim))
             while self._nbytes > self.max_bytes and len(self._entries) > 1:
-                _, evicted = self._entries.popitem(last=False)
-                self._nbytes -= evicted.nbytes
-                self.evictions += 1
+                victim, evicted = self._entries.popitem(last=False)
+                self._evict(victim, evicted)
 
     def invalidate(self, key: tuple) -> None:
         """Drop one entry (no-op if absent)."""
@@ -281,6 +334,7 @@ class GuessCache:
             entry = self._entries.pop(key, None)
             if entry is not None:
                 self._nbytes -= entry.nbytes
+                self._tenant_bytes_add(self._tenant_of(key), -entry.nbytes)
                 self.invalidations += 1
 
     def clear(self) -> None:
@@ -289,6 +343,7 @@ class GuessCache:
             self._entries.clear()
             self._seeds.clear()
             self._nbytes = 0
+            self._tenant_nbytes.clear()
 
     def record(self, hit: bool, n_iter: int) -> None:
         """Account one solve's iteration count against hit/miss."""
@@ -314,9 +369,17 @@ class GuessCache:
                 "entries": len(self._entries),
                 "nbytes": self._nbytes,
             }
-            if self.tenant_stats:
+            names = set(self.tenant_stats) | set(self._tenant_nbytes)
+            if names:
                 out["tenants"] = {
-                    k: dict(v) for k, v in self.tenant_stats.items()
+                    k: dict(
+                        self.tenant_stats.get(
+                            k, {"hits": 0, "misses": 0,
+                                "seed_hits": 0, "evictions": 0}
+                        ),
+                        nbytes=self._tenant_nbytes.get(k, 0),
+                    )
+                    for k in sorted(names)
                 }
             return out
 

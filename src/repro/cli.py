@@ -209,6 +209,27 @@ def cmd_aimd(args) -> int:
     if args.deterministic and not args.no_warm_start and not args.surrogate:
         print("deterministic mode: SCF warm starts disabled "
               "(bitwise-reproducible resumes require cold guesses)")
+    surrogate = None
+    if args.surrogate_tail:
+        from .surrogate import (
+            DEFAULT_TOL_DIMER,
+            DEFAULT_TOL_TRIMER,
+            SurrogateManager,
+        )
+
+        if args.surrogate_tol is not None:
+            tol_dimer = float(args.surrogate_tol)
+            tol_trimer = tol_dimer * (DEFAULT_TOL_TRIMER / DEFAULT_TOL_DIMER)
+        else:
+            tol_dimer, tol_trimer = DEFAULT_TOL_DIMER, DEFAULT_TOL_TRIMER
+        surrogate = SurrogateManager(
+            tol_dimer=tol_dimer, tol_trimer=tol_trimer,
+            min_train=args.surrogate_min_train, seed=args.seed,
+        )
+        if args.deterministic:
+            print("deterministic mode: surrogate tail disabled "
+                  "(completion-order-dependent training breaks bitwise "
+                  "resume)")
     coordinator = AsyncCoordinator(
         system,
         nsteps=args.steps,
@@ -228,6 +249,7 @@ def cmd_aimd(args) -> int:
         fault_plan=fault_plan,
         mts_k=args.mts_k,
         mts_extrapolate=args.mts_extrapolate,
+        surrogate=surrogate,
     )
     print(f"{system.nmonomers} monomers, reference fragment "
           f"{coordinator.reference}, "
@@ -289,6 +311,14 @@ def cmd_aimd(args) -> int:
               f"{coordinator.mts_slow_evals} slow-tier evaluations, "
               f"{coordinator.mts_tasks_skipped} inner-step polymer tasks "
               f"skipped")
+    if surrogate is not None and not coordinator.surrogate_disabled_deterministic:
+        sst = surrogate.stats()
+        print(f"surrogate tail: {sst['served']} tail tasks served "
+              f"({coordinator.surrogate_tasks_avoided} full solves "
+              f"avoided), {sst['refused_cold']} cold / "
+              f"{sst['refused_uncertain']} uncertain refusals, "
+              f"{sst['classes']} fragment classes, "
+              f"gated error ceiling {sst['neglected_bound']:.2e} Ha")
     if coordinator.replans_incremental:
         print(f"incremental replans: {coordinator.replans_incremental} "
               f"({coordinator.replan_reused} polymers reused, "
@@ -385,13 +415,21 @@ def cmd_submit(args) -> int:
         }
     mts = {"k": args.mts_k, "extrapolate": args.mts_extrapolate} \
         if args.mts_k > 1 else None
+    surrogate = None
+    if args.surrogate_tail:
+        surrogate = {"seed": args.seed,
+                     "min_train": args.surrogate_min_train}
+        if args.surrogate_tol is not None:
+            surrogate["tol_dimer"] = args.surrogate_tol
+            surrogate["tol_trimer"] = 0.4 * args.surrogate_tol
     spec = JobSpec(
         job_id=args.job_id, system=system, method=method,
         nsteps=args.steps, dt_fs=args.dt, temperature_k=args.temperature,
         seed=args.seed, mbe_order=args.order,
         r_dimer_angstrom=args.r_dimer, r_trimer_angstrom=args.r_trimer,
         group_size=args.group_size, replan_interval=args.replan_interval,
-        mts=mts, thermostat=thermostat, deterministic=args.deterministic,
+        mts=mts, thermostat=thermostat, surrogate=surrogate,
+        deterministic=args.deterministic,
         checkpoint_every=args.checkpoint_every,
         checkpoint_keep=args.checkpoint_keep, weight=args.weight,
     )
@@ -428,6 +466,7 @@ def cmd_serve(args) -> int:
     service = TrajectoryService(
         args.out, nworkers=args.workers, max_active=args.max_active,
         tracer=tracer, pool=args.pool,
+        tenant_max_bytes=args.tenant_max_bytes,
     )
     for spec in specs:
         service.submit(spec)
@@ -445,6 +484,10 @@ def cmd_serve(args) -> int:
         if info["state"] == "completed":
             tot = job.final_total_energy()
             line += f", final total energy: {tot:.12f} Ha"
+        if "surrogate" in info:
+            s = info["surrogate"]
+            line += (f", surrogate: {s['served']} served, "
+                     f"ceiling {s['neglected_bound']:.1e} Ha")
         if "error" in info:
             line += f", error: {info['error']}"
         print(line)
@@ -526,6 +569,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "approximately reversible)")
     p.add_argument("--surrogate", action="store_true",
                    help="classical surrogate potential instead of RI-MP2")
+    p.add_argument("--surrogate-tail", action="store_true",
+                   help="learn online committee surrogates for the MBE "
+                        "tail (dimer/trimer fragments) and serve them in "
+                        "place of full solves when the committee "
+                        "disagreement passes the uncertainty gate; "
+                        "forced off under --deterministic")
+    p.add_argument("--surrogate-tol", type=float, default=None,
+                   metavar="TOL",
+                   help="dimer uncertainty gate in Hartree (trimers use "
+                        "0.4*TOL) [default 5e-5]")
+    p.add_argument("--surrogate-min-train", type=int, default=6,
+                   metavar="N",
+                   help="training pairs required per fragment class "
+                        "before the surrogate may serve [default 6]")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1,
                    help=">1 runs the fault-tolerant process-pool driver")
@@ -600,6 +657,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replan-interval", type=int, default=1)
     p.add_argument("--mts-k", type=int, default=1, metavar="K")
     p.add_argument("--mts-extrapolate", action="store_true")
+    p.add_argument("--surrogate-tail", action="store_true",
+                   help="per-tenant online MBE-tail surrogate with "
+                        "uncertainty-gated fallback (ignored under "
+                        "--deterministic)")
+    p.add_argument("--surrogate-tol", type=float, default=None,
+                   metavar="TOL",
+                   help="dimer uncertainty gate in Hartree (trimers use "
+                        "0.4*TOL)")
+    p.add_argument("--surrogate-min-train", type=int, default=6,
+                   metavar="N",
+                   help="training pairs per fragment class before serving")
     p.add_argument("--thermostat", default="none",
                    choices=["none", "local-langevin"],
                    help="local-langevin is the only thermostat valid "
@@ -632,6 +700,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker pool kind: threads share the in-process "
                         "warm layer; processes give true parallelism for "
                         "GIL-holding QM solves on multi-core hosts")
+    p.add_argument("--tenant-max-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="per-tenant byte quota on the shared warm layer "
+                        "(guess cache + integral workspace): a greedy "
+                        "job evicts only its own LRU entries")
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="write a chrome-trace JSON (includes serve.* "
                         "and warm_layer instants)")

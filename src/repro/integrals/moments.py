@@ -44,8 +44,6 @@ def dipole_integrals(basis: BasisSet, origin: np.ndarray | None = None) -> np.nd
             pref = pd.cc * (np.pi / pd.p) ** 1.5
             norms = _pair_norms(sha, shb)
             for axis in range(3):
-                ia = ca[:, None, axis]
-                jb = cb[None, :, axis]
                 s_dims = []
                 m_dim = None
                 for dim in range(3):

@@ -148,7 +148,7 @@ class IntegralWorkspace:
     def __init__(self, max_bytes: int = 256 * 2**20, enabled: bool = True,
                  displacement_tol: float = DEFAULT_DISPLACEMENT_TOL,
                  stale_safety: float = DEFAULT_STALE_SAFETY,
-                 tracer=None) -> None:
+                 tracer=None, tenant_max_bytes: int | None = None) -> None:
         if displacement_tol < 0.0:
             raise ValueError(
                 f"displacement_tol must be >= 0, got {displacement_tol}"
@@ -158,13 +158,23 @@ class IntegralWorkspace:
                 f"stale_safety must be >= 1, got {stale_safety}"
             )
         self.max_bytes = int(max_bytes)
+        #: optional per-tenant byte ceiling — entries are attributed to
+        #: the tenant whose thread stored them (see `set_tenant`); a
+        #: tenant over budget evicts only its own LRU entries
+        self.tenant_max_bytes = (
+            int(tenant_max_bytes) if tenant_max_bytes is not None else None
+        )
         self.enabled = enabled
         self.displacement_tol = float(displacement_tol)
         self.stale_safety = float(stale_safety)
         self.tracer = tracer
-        #: key -> (payload, nbytes); LRU order, most recent last
-        self._entries: OrderedDict[tuple, tuple[object, int]] = OrderedDict()
+        #: key -> (payload, nbytes, owner tenant); LRU order, recent last
+        self._entries: OrderedDict[
+            tuple, tuple[object, int, str | None]
+        ] = OrderedDict()
         self._nbytes = 0
+        #: per-tenant resident bytes (entries stored by that tenant)
+        self._tenant_nbytes: dict[str, int] = {}
         # entry/counter accesses are serialised so the process-global
         # workspace can back the multi-tenant service's worker threads;
         # payload *builds* stay outside the lock (duplicate builds are
@@ -210,8 +220,33 @@ class IntegralWorkspace:
         name = getattr(self._tenant, "name", None)
         if name is None:
             return
-        t = self.tenant_stats.setdefault(name, {"hits": 0, "misses": 0})
+        t = self.tenant_stats.setdefault(
+            name, {"hits": 0, "misses": 0, "evictions": 0}
+        )
         t["hits" if hit else "misses"] += 1
+
+    def _tenant_bytes_add(self, tenant: str | None, delta: int) -> None:
+        """Adjust a tenant's resident-byte count (caller holds lock)."""
+        if tenant is None:
+            return
+        total = self._tenant_nbytes.get(tenant, 0) + delta
+        if total > 0:
+            self._tenant_nbytes[tenant] = total
+        else:
+            self._tenant_nbytes.pop(tenant, None)
+
+    def _evict_entry(self, key: tuple) -> None:
+        """Evict one entry, attributing it to its owner (lock held)."""
+        _, freed, owner = self._entries.pop(key)
+        self._nbytes -= freed
+        self._tenant_bytes_add(owner, -freed)
+        self.evictions += 1
+        if owner is not None:
+            t = self.tenant_stats.setdefault(
+                owner, {"hits": 0, "misses": 0, "evictions": 0}
+            )
+            t.setdefault("evictions", 0)
+            t["evictions"] += 1
 
     # ------------------------------------------------------------------
     # LRU plumbing
@@ -245,22 +280,38 @@ class IntegralWorkspace:
             return
         if nbytes is None:
             nbytes = payload_nbytes(payload)
+        tenant = getattr(self._tenant, "name", None)
         with self._locked():
             old = self._entries.pop(key, None)
             if old is not None:
                 self._nbytes -= old[1]
-            self._entries[key] = (payload, int(nbytes))
+                self._tenant_bytes_add(old[2], -old[1])
+            self._entries[key] = (payload, int(nbytes), tenant)
             self._nbytes += int(nbytes)
+            self._tenant_bytes_add(tenant, int(nbytes))
+            # quota first: an over-budget tenant sheds only its own LRU
+            # entries (never the one just stored), so one job's traffic
+            # cannot push another job's warm tables out via the quota
+            if tenant is not None and self.tenant_max_bytes is not None:
+                while self._tenant_nbytes.get(tenant, 0) \
+                        > self.tenant_max_bytes:
+                    victim = next(
+                        (k for k, v in self._entries.items()
+                         if k != key and v[2] == tenant),
+                        None,
+                    )
+                    if victim is None:
+                        break
+                    self._evict_entry(victim)
             while self._nbytes > self.max_bytes and len(self._entries) > 1:
-                _, (_, freed) = self._entries.popitem(last=False)
-                self._nbytes -= freed
-                self.evictions += 1
+                self._evict_entry(next(iter(self._entries)))
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         with self._locked():
             self._entries.clear()
             self._nbytes = 0
+            self._tenant_nbytes.clear()
 
     # ------------------------------------------------------------------
     # shell-pair expansion tables
@@ -483,9 +534,16 @@ class IntegralWorkspace:
                 "pairs_skipped": self.pairs_skipped,
                 "neglected_bound": self.neglected_bound,
             }
-            if self.tenant_stats:
+            names = set(self.tenant_stats) | set(self._tenant_nbytes)
+            if names:
                 out["tenants"] = {
-                    k: dict(v) for k, v in self.tenant_stats.items()
+                    k: dict(
+                        self.tenant_stats.get(
+                            k, {"hits": 0, "misses": 0, "evictions": 0}
+                        ),
+                        nbytes=self._tenant_nbytes.get(k, 0),
+                    )
+                    for k in sorted(names)
                 }
             return out
 

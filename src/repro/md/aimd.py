@@ -22,7 +22,7 @@ from .integrators import (
     maxwell_boltzmann_velocities,
     verlet_step,
 )
-from .mts import SlowTierState, TieredMBEForces
+from .mts import SlowTierState, TieredMBEForces, slow_tier_items_split
 from .trajectory import Trajectory
 
 __all__ = ["Trajectory", "run_aimd"]
@@ -53,6 +53,8 @@ def run_aimd(
     fault_plan=None,
     mts_k: int = 1,
     mts_extrapolate: bool = False,
+    mts_k_trimer: int | None = None,
+    surrogate=None,
 ) -> Trajectory:
     """Synchronous NVE velocity-Verlet dynamics.
 
@@ -107,10 +109,36 @@ def run_aimd(
     at outer boundaries, which is where energy conservation should be
     measured.  Checkpoints then carry the slow-tier state, so resume —
     including from mid-cycle — continues the exact impulse pattern.
+
+    ``mts_k_trimer`` (the per-tier ``k`` ladder) splits the slow tier by
+    MBE order: the dimer correction tier keeps firing every ``mts_k``
+    steps while the trimer tier fires only every ``mts_k_trimer`` steps
+    (which must be a multiple of ``mts_k``; impulse mode only).  At
+    ``mts_k_trimer == mts_k`` (or ``None``) the run takes the exact
+    single-ladder code path.
+
+    ``surrogate`` (a `repro.surrogate.SurrogateManager`) routes polymer
+    (dimer/trimer) evaluations through the online committee surrogate:
+    full solves train it, and contributions are served from it whenever
+    the committee-disagreement gate admits them, with the per-order
+    bound accumulated into the manager's neglected-error ceiling.
     """
     fragmented = isinstance(mol_or_system, FragmentedSystem)
     mts_k = max(1, int(mts_k))
-    mts = mts_k > 1
+    ladder = mts_k_trimer is not None and int(mts_k_trimer) != mts_k
+    if ladder:
+        mts_k_trimer = int(mts_k_trimer)
+        if mts_k_trimer < mts_k or mts_k_trimer % mts_k != 0:
+            raise ValueError(
+                f"mts_k_trimer ({mts_k_trimer}) must be a multiple of "
+                f"mts_k ({mts_k}) at least as large: the trimer tier is "
+                "the slower one and its boundaries must nest"
+            )
+        if mts_extrapolate:
+            raise ValueError(
+                "the per-tier k ladder supports impulse mode only"
+            )
+    mts = mts_k > 1 or ladder
     if mts and not fragmented:
         raise ValueError(
             "multiple-time-step integration (mts_k > 1) requires a "
@@ -120,6 +148,16 @@ def run_aimd(
         raise ValueError(
             "multiple-time-step integration is not supported together "
             "with smooth_switching"
+        )
+    if surrogate is not None and not fragmented:
+        raise ValueError(
+            "the MBE-tail surrogate requires a FragmentedSystem: it "
+            "serves dimer/trimer contributions"
+        )
+    if surrogate is not None and smooth_switching:
+        raise ValueError(
+            "the MBE-tail surrogate is not supported together with "
+            "smooth_switching"
         )
     if warm_start and getattr(calculator, "guess_cache", "no") is None:
         from ..calculators import GuessCache
@@ -161,8 +199,11 @@ def run_aimd(
             thermostat.load_state_dict(resume.thermostat)
         if tracer:
             tracer.instant("resume", cat="checkpoint", step=start_step)
+        if resume.surrogate is not None and surrogate is not None:
+            surrogate.load_state(resume.surrogate, resume.surrogate_arrays or {})
 
     slow = None
+    slow3 = None
     if mts:
         if resume is not None and resume.mts is not None:
             meta = resume.mts
@@ -174,9 +215,33 @@ def run_aimd(
                     f"extrapolate={meta['extrapolate']}) does not match "
                     f"the run (k={mts_k}, extrapolate={mts_extrapolate})"
                 )
+            ck_k3 = meta.get("k_trimer")
+            if ladder and (ck_k3 is None or int(ck_k3) != mts_k_trimer):
+                raise CheckpointError(
+                    f"checkpoint MTS ladder state (k_trimer={ck_k3}) does "
+                    f"not match the run (mts_k_trimer={mts_k_trimer})"
+                )
+            if not ladder and ck_k3 is not None:
+                raise CheckpointError(
+                    f"checkpoint carries a per-tier MTS ladder "
+                    f"(k_trimer={ck_k3}); resume with the same mts_k_trimer"
+                )
             slow = SlowTierState.from_state(
                 meta, resume.mts_slow_forces, resume.mts_slow_forces_prev
             )
+            if ladder:
+                slow3 = SlowTierState.from_state(
+                    {
+                        "k": int(ck_k3),
+                        "extrapolate": False,
+                        "step": meta["step3"],
+                        "prev_step": meta["prev_step3"],
+                        "e_slow": meta["e_slow3"],
+                        "e_slow_prev": meta.get("e_slow3_prev", 0.0),
+                    },
+                    resume.mts_slow3_forces,
+                    resume.mts_slow3_forces_prev,
+                )
         else:
             if start_step % mts_k != 0:
                 raise CheckpointError(
@@ -184,7 +249,15 @@ def run_aimd(
                     f"cycle (mts_k={mts_k}) but carries no MTS state; "
                     "the held slow forces cannot be reconstructed"
                 )
+            if ladder and start_step % mts_k_trimer != 0:
+                raise CheckpointError(
+                    f"checkpoint step {start_step} is inside a trimer-tier "
+                    f"cycle (mts_k_trimer={mts_k_trimer}) but carries no "
+                    "MTS state; the held slow forces cannot be reconstructed"
+                )
             slow = SlowTierState(k=mts_k, extrapolate=bool(mts_extrapolate))
+            if ladder:
+                slow3 = SlowTierState(k=mts_k_trimer)
     elif resume is not None and resume.mts is not None:
         raise CheckpointError(
             "checkpoint carries MTS integrator state "
@@ -245,7 +318,9 @@ def run_aimd(
             return e, -g
         if plan is None:
             replan(c, 0)
-        e, g = mbe_energy_gradient(mol_or_system, plan, calculator, coords=c)
+        e, g = mbe_energy_gradient(
+            mol_or_system, plan, calculator, coords=c, surrogate=surrogate
+        )
         return e, -g
 
     def force_fn(c: np.ndarray) -> tuple[float, np.ndarray]:
@@ -254,7 +329,7 @@ def run_aimd(
         ensure_finite("aimd force evaluation", energy=e, forces=f)
         return e, f
 
-    def maybe_checkpoint(step: int) -> None:
+    def maybe_checkpoint(step: int, cur_forces: np.ndarray | None = None) -> None:
         if not checkpoint_path or checkpoint_every <= 0 or step <= start_step:
             return
         if step % checkpoint_every != 0:
@@ -268,6 +343,16 @@ def run_aimd(
             not replan_interval or step % replan_interval != 0
         ):
             return
+        mts_meta = slow.state_dict() if mts else None
+        if ladder:
+            mts_meta["k_trimer"] = int(mts_k_trimer)
+            mts_meta["step3"] = int(slow3.step)
+            mts_meta["prev_step3"] = int(slow3.prev_step)
+            mts_meta["e_slow3"] = float(slow3.e_slow)
+            mts_meta["e_slow3_prev"] = float(slow3.e_slow_prev)
+        surr_meta = surr_arrays = None
+        if surrogate is not None:
+            surr_meta, surr_arrays = surrogate.state_dict()
         write_checkpoint(
             checkpoint_path,
             Checkpoint(
@@ -288,9 +373,21 @@ def run_aimd(
                     and hasattr(thermostat, "state_dict")
                     else None
                 ),
-                mts=slow.state_dict() if mts else None,
+                mts=mts_meta,
                 mts_slow_forces=slow.forces if mts else None,
                 mts_slow_forces_prev=slow.forces_prev if mts else None,
+                mts_slow3_forces=slow3.forces if ladder else None,
+                mts_slow3_forces_prev=slow3.forces_prev if ladder else None,
+                surrogate=surr_meta,
+                surrogate_arrays=surr_arrays,
+                # with a surrogate the resumed run must not re-evaluate
+                # the initial forces (the evaluation would mutate the
+                # training windows a second time), so they ride along
+                forces=(
+                    cur_forces.copy()
+                    if surrogate is not None and cur_forces is not None
+                    else None
+                ),
             ),
             tracer=tracer,
             keep=checkpoint_keep,
@@ -298,13 +395,92 @@ def run_aimd(
         )
 
     if mts:
-        tiers = TieredMBEForces(mol_or_system, calculator)
+        tiers = TieredMBEForces(mol_or_system, calculator, surrogate=surrogate)
 
         def fast_force(c: np.ndarray) -> tuple[float, np.ndarray]:
             e, g = tiers.fast(c)
             f = -g
             ensure_finite("MTS fast-tier force evaluation", energy=e, forces=f)
             return e, f
+
+        if ladder:
+
+            def eval_tier(
+                state: SlowTierState, order: int, c: np.ndarray, at_step: int
+            ) -> None:
+                """Fresh evaluation of one ladder tier at its boundary."""
+                tiers.plan = plan
+                items2, items3 = slow_tier_items_split(
+                    plan, mol_or_system.nmonomers
+                )
+                e_s, g_s = tiers.slow_items(c, items2 if order == 2 else items3)
+                f_s = -g_s
+                ensure_finite(
+                    f"MTS tier-{order} force evaluation", energy=e_s, forces=f_s
+                )
+                state.push(at_step, f_s, e_s)
+                if tracer:
+                    tracer.instant(
+                        "mts.slow_eval", cat="md", step=at_step, tier=order
+                    )
+
+            k_dt2 = mts_k * dt
+            k_dt3 = mts_k_trimer * dt
+            e_fast, f_fast = fast_force(coords)
+            if slow.step < 0 or slow3.step < 0:
+                if plan is None:
+                    replan(coords, start_step)
+            if slow.step < 0:
+                eval_tier(slow, 2, coords, start_step)
+            if slow3.step < 0:
+                eval_tier(slow3, 3, coords, start_step)
+            step = start_step
+            while True:
+                e_slow2, _ = slow.estimate(step)
+                e_slow3, _ = slow3.estimate(step)
+                if step > start_step or resume is None:
+                    traj.times_fs.append(step * dt_fs)
+                    traj.potential.append(e_fast + e_slow2 + e_slow3)
+                    traj.kinetic.append(kinetic_energy(masses, velocities))
+                    traj.coords.append(coords.copy())
+                    traj.velocities.append(velocities.copy())
+                maybe_checkpoint(step)
+                if step == nsteps:
+                    break
+                if replan_interval and step % replan_interval == 0:
+                    replan(coords, step)
+                t0 = time.perf_counter()
+                # opening half-impulses: each tier kicks at its own
+                # boundary with its own outer time step (r-RESPA nesting;
+                # the trimer boundaries are a subset of the dimer ones)
+                if step % mts_k == 0:
+                    velocities = (
+                        velocities + 0.5 * k_dt2 * slow.forces / masses[:, None]
+                    )
+                if step % mts_k_trimer == 0:
+                    velocities = (
+                        velocities
+                        + 0.5 * k_dt3 * slow3.forces / masses[:, None]
+                    )
+                coords, velocities, f_fast, e_fast = verlet_step(
+                    coords, velocities, f_fast, masses, dt, fast_force
+                )
+                if (step + 1) % mts_k == 0:
+                    eval_tier(slow, 2, coords, step + 1)
+                    velocities = (
+                        velocities + 0.5 * k_dt2 * slow.forces / masses[:, None]
+                    )
+                if (step + 1) % mts_k_trimer == 0:
+                    eval_tier(slow3, 3, coords, step + 1)
+                    velocities = (
+                        velocities
+                        + 0.5 * k_dt3 * slow3.forces / masses[:, None]
+                    )
+                if thermostat is not None:
+                    velocities = thermostat.apply(velocities, masses, dt_fs)
+                traj.wall_times.append(time.perf_counter() - t0)
+                step += 1
+            return traj
 
         def eval_slow(c: np.ndarray, at_step: int) -> None:
             """Fresh slow-tier evaluation at an outer boundary.
@@ -379,7 +555,14 @@ def run_aimd(
             step += 1
         return traj
 
-    e_pot, forces = force_fn(coords)
+    if resume is not None and resume.forces is not None:
+        # surrogate resume: restore the forces instead of re-evaluating
+        # them — the checkpointed surrogate state already reflects this
+        # evaluation, and repeating it would re-train and re-serve
+        forces = np.array(resume.forces, dtype=float, copy=True)
+        e_pot = float(resume.potential[-1])
+    else:
+        e_pot, forces = force_fn(coords)
     for step in range(start_step, nsteps + 1):
         if step > start_step or resume is None:
             traj.times_fs.append(step * dt_fs)
@@ -387,7 +570,7 @@ def run_aimd(
             traj.kinetic.append(kinetic_energy(masses, velocities))
             traj.coords.append(coords.copy())
             traj.velocities.append(velocities.copy())
-        maybe_checkpoint(step)
+        maybe_checkpoint(step, forces)
         if step == nsteps:
             break
         if fragmented and replan_interval and step % replan_interval == 0:

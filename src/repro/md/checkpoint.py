@@ -58,10 +58,15 @@ import numpy as np
 #: file-format identity: readers refuse anything else
 CHECKPOINT_MAGIC = "repro-aimd-checkpoint"
 #: version 2 added the optional multiple-time-step (r-RESPA) block:
-#: an ``mts`` metadata dict plus held slow-tier force arrays. Version-1
-#: files remain readable (the block is simply absent).
-CHECKPOINT_VERSION = 2
-CHECKPOINT_READABLE_VERSIONS = (1, 2)
+#: an ``mts`` metadata dict plus held slow-tier force arrays. Version 3
+#: added two more optional blocks: the per-tier MTS ladder's second
+#: (trimer) slow tier, and the online-surrogate training state (a
+#: ``surrogate`` metadata dict plus per-class training-window arrays).
+#: Version-1/2 files remain readable (the blocks are simply absent), and
+#: runs that use none of the optional features still write files whose
+#: layout matches the version-1 original except for the version number.
+CHECKPOINT_VERSION = 3
+CHECKPOINT_READABLE_VERSIONS = (1, 2, 3)
 
 
 class CheckpointError(RuntimeError):
@@ -106,6 +111,23 @@ class Checkpoint:
     #: (the extrapolation history); cannot be recomputed on resume
     mts_slow_forces: np.ndarray | None = None
     mts_slow_forces_prev: np.ndarray | None = None
+    #: per-tier ladder: the trimer tier's held forces when the run
+    #: integrates dimers and trimers on separate timescales (the dimer
+    #: tier reuses the ``mts_slow_*`` slots above)
+    mts_slow3_forces: np.ndarray | None = None
+    mts_slow3_forces_prev: np.ndarray | None = None
+    #: online-surrogate state: `repro.surrogate.SurrogateManager`
+    #: metadata (config, counters, class directory) plus the per-class
+    #: training windows in ``surrogate_arrays`` — ``None`` when the run
+    #: carries no surrogate
+    surrogate: dict | None = None
+    surrogate_arrays: dict | None = None
+    #: current forces at ``step`` (synchronous single-timescale driver
+    #: with a surrogate only): the resumed run must NOT re-evaluate the
+    #: initial forces, because that evaluation would mutate the
+    #: surrogate's training windows and serve streaks a second time and
+    #: break bitwise continuation — so the forces travel with the state
+    forces: np.ndarray | None = None
     version: int = CHECKPOINT_VERSION
 
 
@@ -225,6 +247,9 @@ def write_checkpoint(path: str | Path, ckpt: Checkpoint, tracer=None,
         # only MTS runs carry the key, so plain checkpoints stay
         # byte-identical to the version-1 layout
         meta["mts"] = ckpt.mts
+    if ckpt.surrogate is not None:
+        # likewise only surrogate runs carry the v3 surrogate block
+        meta["surrogate"] = ckpt.surrogate
     arrays: dict[str, np.ndarray] = {
         "coords": np.asarray(ckpt.coords, dtype=float),
         "velocities": np.asarray(ckpt.velocities, dtype=float),
@@ -241,6 +266,24 @@ def write_checkpoint(path: str | Path, ckpt: Checkpoint, tracer=None,
         arrays["mts_slow_forces_prev"] = np.asarray(
             ckpt.mts_slow_forces_prev, dtype=float
         )
+    if ckpt.mts_slow3_forces is not None:
+        arrays["mts_slow3_forces"] = np.asarray(
+            ckpt.mts_slow3_forces, dtype=float
+        )
+    if ckpt.mts_slow3_forces_prev is not None:
+        arrays["mts_slow3_forces_prev"] = np.asarray(
+            ckpt.mts_slow3_forces_prev, dtype=float
+        )
+    if ckpt.forces is not None:
+        arrays["forces"] = np.asarray(ckpt.forces, dtype=float)
+    if ckpt.surrogate_arrays:
+        for name, value in ckpt.surrogate_arrays.items():
+            if not name.startswith("surrogate_"):
+                raise ValueError(
+                    f"surrogate payload array {name!r} must use the "
+                    "'surrogate_' namespace"
+                )
+            arrays[name] = np.asarray(value, dtype=float)
     natoms = arrays["coords"].shape[0]
     if ckpt.frame_coords is not None and len(ckpt.frame_coords):
         arrays["frame_coords"] = np.asarray(
@@ -372,6 +415,15 @@ def read_checkpoint(path: str | Path, mol=None) -> Checkpoint:
         mts=meta.get("mts"),
         mts_slow_forces=payload.get("mts_slow_forces"),
         mts_slow_forces_prev=payload.get("mts_slow_forces_prev"),
+        mts_slow3_forces=payload.get("mts_slow3_forces"),
+        mts_slow3_forces_prev=payload.get("mts_slow3_forces_prev"),
+        surrogate=meta.get("surrogate"),
+        forces=payload.get("forces"),
+        surrogate_arrays={
+            name: array
+            for name, array in payload.items()
+            if name.startswith("surrogate_")
+        } or None,
         version=int(version),
     )
 

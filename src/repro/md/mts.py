@@ -67,6 +67,49 @@ def slow_tier_items(
     return items
 
 
+def slow_tier_items_split(
+    plan: MBEPlan, nmonomers: int
+) -> tuple[
+    list[tuple[tuple[int, ...], float]], list[tuple[tuple[int, ...], float]]
+]:
+    """The slow tier split by MBE order: ``(dimer tier, trimer tier)``.
+
+    The dimer tier carries the full MBE2 correction
+    ``sum_D [E_IJ - E_I - E_J]`` and the trimer tier the full MBE3
+    correction ``sum_T [E_IJK - pairs + monomers]``.  Their sum equals
+    `slow_tier_items` exactly: the plan coefficients are integer
+    inclusion-exclusion sums over exactly these per-polymer stencils, so
+    regrouping them by originating order is an identity, not an
+    approximation.  This is the decomposition the per-tier ``k`` ladder
+    integrates on separate timescales (dimers every ``k``, trimers every
+    ``k_trimer``).
+    """
+    tier2: dict[tuple[int, ...], float] = {}
+    tier3: dict[tuple[int, ...], float] = {}
+
+    def add(tier: dict, key: tuple[int, ...], c: float) -> None:
+        tier[key] = tier.get(key, 0.0) + c
+
+    for i, j in plan.dimers:
+        add(tier2, (i, j), 1.0)
+        add(tier2, (i,), -1.0)
+        add(tier2, (j,), -1.0)
+    for i, j, k in plan.trimers:
+        add(tier3, (i, j, k), 1.0)
+        for pair in ((i, j), (i, k), (j, k)):
+            add(tier3, pair, -1.0)
+        for mono in (i, j, k):
+            add(tier3, (mono,), 1.0)
+
+    def items(tier: dict) -> list[tuple[tuple[int, ...], float]]:
+        return sorted(
+            ((k, c) for k, c in tier.items() if abs(c) > _COEF_EPS),
+            key=lambda kc: (len(kc[0]), kc[0]),
+        )
+
+    return items(tier2), items(tier3)
+
+
 class TieredMBEForces:
     """Evaluate the MBE energy/gradient split into fast and slow tiers.
 
@@ -80,9 +123,15 @@ class TieredMBEForces:
     monomer solves and only pays for the polymers.
     """
 
-    def __init__(self, system: FragmentedSystem, calculator) -> None:
+    def __init__(
+        self, system: FragmentedSystem, calculator, surrogate=None
+    ) -> None:
         self.system = system
         self.calculator = calculator
+        #: optional ``repro.surrogate.SurrogateManager``: polymer solves
+        #: in the slow tier are served from the committee when its
+        #: disagreement gate admits them, and full solves train it
+        self.surrogate = surrogate
         #: current MBE plan; only the slow tier reads it (the fast tier
         #: is every monomer at +1 regardless of the plan)
         self.plan: MBEPlan | None = None
@@ -124,17 +173,42 @@ class TieredMBEForces:
         """
         if self.plan is None:
             raise RuntimeError("TieredMBEForces.slow called before a plan was set")
+        return self.slow_items(
+            coords, slow_tier_items(self.plan, self.system.nmonomers)
+        )
+
+    def slow_items(
+        self,
+        coords: np.ndarray,
+        items: list[tuple[tuple[int, ...], float]],
+    ) -> tuple[float, np.ndarray]:
+        """Evaluate an explicit ``(key, coefficient)`` slow-tier item list.
+
+        This is the shared engine behind `slow` (the whole slow tier) and
+        the per-order ladder tiers from `slow_tier_items_split`.  Polymer
+        items go through the surrogate gate when one is attached; full
+        polymer solves train it.
+        """
         system = self.system
         energy = 0.0
         grad = np.zeros((system.parent.natoms, 3))
         cached = self._cached_monomers(coords)
-        for key, c in slow_tier_items(self.plan, system.nmonomers):
+        for key, c in items:
             if len(key) == 1 and cached is not None:
                 e_f, g_f, atoms, caps = cached[key[0]]
                 self.monomer_reuses += 1
             else:
                 mol, atoms, caps = system.fragment_molecule(key, coords)
+                if self.surrogate is not None and len(key) > 1:
+                    served = self.surrogate.predict(key, mol, coefficient=c)
+                    if served is not None:
+                        e_f, g_f = served[0], served[1]
+                        energy += c * e_f
+                        system.map_gradient(g_f, atoms, caps, grad, scale=c)
+                        continue
                 e_f, g_f = self.calculator.energy_gradient(mol)
+                if self.surrogate is not None and len(key) > 1:
+                    self.surrogate.observe(key, mol, e_f, g_f)
             energy += c * e_f
             system.map_gradient(g_f, atoms, caps, grad, scale=c)
         return energy, grad

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import heapq
 import time
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -66,6 +67,9 @@ class PolymerTask:
     caps: list | None
     coefficient: float
     distance: float  # priority distance to the reference monomer (Bohr)
+    #: True for contributions synthesized by the committee surrogate —
+    #: they bypass the worker queue and must not train the surrogate
+    surrogate: bool = False
 
     @property
     def natoms(self) -> int:
@@ -109,6 +113,7 @@ class AsyncCoordinator:
         mts_extrapolate: bool = False,
         thermostat=None,
         step_callback=None,
+        surrogate=None,
     ) -> None:
         self.system = system
         self.nsteps = nsteps
@@ -174,6 +179,24 @@ class AsyncCoordinator:
         self.guess_cache = (
             GuessCache() if warm_start and not deterministic else None
         )
+        #: online MBE-tail surrogate (`repro.surrogate.SurrogateManager`):
+        #: polymer tasks whose committee prediction passes the
+        #: disagreement gate are never scheduled at all — the win is
+        #: fewer solves, not just cheaper ones. Forced off under
+        #: ``deterministic``: although the seeded committee itself is a
+        #: deterministic function of its training window, the window is
+        #: filled in task *completion* order, which worker races scramble
+        #: — so the bitwise-reproducibility contract wins.
+        self.surrogate_disabled_deterministic = bool(
+            surrogate is not None and deterministic
+        )
+        self.surrogate = None if deterministic else surrogate
+        #: polymer solves avoided by serving from the surrogate
+        self.surrogate_tasks_avoided = 0
+        #: surrogate-served contributions awaiting accumulation; drained
+        #: iteratively by `complete` (never recursively — a long chain of
+        #: serves unlocking integrations must not grow the Python stack)
+        self._served_queue: deque = deque()
         #: per-monomer thermostat (duck-typed ``apply_rows``; see
         #: `repro.md.thermostats.LocalLangevinThermostat`). Applied to a
         #: monomer's rows right after its arrival kicks, before the
@@ -254,6 +277,14 @@ class AsyncCoordinator:
                 )
             else:
                 self.velocities = velocities.copy()
+        if (
+            resume is not None
+            and resume.surrogate is not None
+            and self.surrogate is not None
+        ):
+            self.surrogate.load_state(
+                resume.surrogate, resume.surrogate_arrays or {}
+            )
 
         self.build_molecules = build_molecules
         nmono = system.nmonomers
@@ -365,6 +396,8 @@ class AsyncCoordinator:
         self.tasks_issued = 0
         for step in self._steps_of_window(w0):
             self._try_release_step_polymers(step)
+        # a resumed surrogate can be warm enough to serve immediately
+        self._drain_served()
 
     # ------------------------------------------------------------------
     # plan management
@@ -562,7 +595,62 @@ class AsyncCoordinator:
                 continue
             t = touch[key]
             if self._polymer_ready(key, step, t):
+                if len(key) > 1 and self._try_serve_surrogate(key, step):
+                    continue
                 self._release(key, step)
+
+    def _try_serve_surrogate(self, key: tuple, step: int) -> bool:
+        """Serve a ready polymer from the committee surrogate if gated in.
+
+        On success the polymer never enters the priority queue: a
+        synthetic completed task is pushed onto ``_served_queue`` (the
+        iterative accumulation path), the ``_queued`` marker prevents
+        re-release, and the per-order bound is folded into the manager's
+        neglected-error ceiling.  Returns False — schedule the full
+        solve — when no surrogate is attached, the class is cold, or the
+        committee disagreement exceeds the gate.
+        """
+        if self.surrogate is None or not self.build_molecules:
+            return False
+        coords = self.coords_at[step]
+        w0 = self._window_start(step)
+        c = self.plans[w0].coefficients[key]
+        mol, atoms, caps = self.system.fragment_molecule(key, coords)
+        served = self.surrogate.predict(key, mol, coefficient=c)
+        if served is None:
+            return False
+        energy, grad_frag, spread = served
+        self._queued[step].add(key)
+        task = PolymerTask(
+            key=key,
+            step=step,
+            molecule=mol,
+            atoms=atoms,
+            caps=caps,
+            coefficient=c,
+            distance=0.0,
+            surrogate=True,
+        )
+        self.in_flight += 1  # _complete_one decrements symmetrically
+        self.surrogate_tasks_avoided += 1
+        if self.tracer:
+            self.tracer.instant(
+                "surrogate.serve", cat="scheduler", step=step,
+                key=str(key), spread=float(spread),
+            )
+        self._served_queue.append((task, energy, grad_frag))
+        return True
+
+    def _drain_served(self) -> None:
+        """Accumulate queued surrogate-served contributions iteratively.
+
+        Each accumulation can integrate monomers, whose next-step
+        releases can serve further polymers — the queue keeps that
+        cascade flat instead of recursing through `complete`.
+        """
+        while self._served_queue:
+            task, energy, grad_frag = self._served_queue.popleft()
+            self._complete_one(task, energy, grad_frag)
 
     # ------------------------------------------------------------------
     # driver interface
@@ -581,10 +669,25 @@ class AsyncCoordinator:
 
     def complete(self, task: PolymerTask, energy: float, grad_frag: np.ndarray) -> None:
         """Accept a finished polymer: accumulate, integrate ready monomers,
-        release newly-ready polymers."""
+        release newly-ready polymers (and drain any surrogate serves the
+        cascade produced)."""
+        self._complete_one(task, energy, grad_frag)
+        self._drain_served()
+
+    def _complete_one(
+        self, task: PolymerTask, energy: float, grad_frag: np.ndarray
+    ) -> None:
         self.in_flight -= 1
         step = task.step
         c = task.coefficient
+        if (
+            self.surrogate is not None
+            and len(task.key) > 1
+            and not task.surrogate
+            and self.build_molecules
+        ):
+            # every full polymer solve is a free training pair
+            self.surrogate.observe(task.key, task.molecule, energy, grad_frag)
         if self.mts and len(task.key) > 1:
             # slow-tier polymer (boundary steps only)
             if self.deterministic:
@@ -749,6 +852,9 @@ class AsyncCoordinator:
             slow_forces = -self._slow_grad[step]
             if has_prev:
                 slow_forces_prev = -self._slow_grad[prev]
+        surr_meta = surr_arrays = None
+        if self.surrogate is not None:
+            surr_meta, surr_arrays = self.surrogate.state_dict()
         write_checkpoint(
             self.checkpoint_path,
             Checkpoint(
@@ -768,6 +874,8 @@ class AsyncCoordinator:
                 mts=mts_meta,
                 mts_slow_forces=slow_forces,
                 mts_slow_forces_prev=slow_forces_prev,
+                surrogate=surr_meta,
+                surrogate_arrays=surr_arrays,
             ),
             tracer=self.tracer,
             keep=self.checkpoint_keep,

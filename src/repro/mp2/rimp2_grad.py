@@ -116,7 +116,6 @@ def mp2_correction_coefficients(
     if res.B is None:
         raise ValueError("RI-MP2 gradient requires RI tensors on the SCF result")
     mol, basis, aux = res.mol, res.basis, res.aux
-    natoms = mol.natoms
     nocc = res.nocc
     C, eps = res.C, res.eps
     nmo = C.shape[1]

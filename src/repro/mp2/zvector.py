@@ -34,7 +34,6 @@ def apply_orbital_hessian(
         nocc: number of occupied orbitals.
     """
     nmo = Bmo.shape[0]
-    nvirt = nmo - nocc
     eo = eps[:nocc]
     ev = eps[nocc:]
     Bai = Bmo[nocc:, :nocc, :]  # (v, o, P)

@@ -138,12 +138,18 @@ class TrajectoryService:
             each worker keeps its own process-global warm layer
             (tenant-namespaced, persistent across jobs).
         mp_start: multiprocessing start method for ``pool="process"``.
+        tenant_max_bytes: optional per-tenant byte quota applied to the
+            shared warm layer (`GuessCache` and the process-global
+            `IntegralWorkspace`): an over-budget tenant evicts only its
+            own LRU entries, with evictions attributed per tenant in
+            the warm-layer stats.
     """
 
     def __init__(self, out_root: str | Path, nworkers: int = 4,
                  max_active: int = 8, channel: ResultChannel | None = None,
                  tracer=None, warm_layer: bool = True,
-                 pool: str = "thread", mp_start: str = "fork") -> None:
+                 pool: str = "thread", mp_start: str = "fork",
+                 tenant_max_bytes: int | None = None) -> None:
         if pool not in ("thread", "process"):
             raise ValueError(f"pool must be 'thread' or 'process', got {pool!r}")
         self.out_root = Path(out_root)
@@ -157,7 +163,17 @@ class TrajectoryService:
         self.queue = JobQueue()
         self.scheduler = FragmentScheduler()
         self.jobs: dict[str, TrajectoryJob] = {}
-        self.guess_cache = GuessCache() if warm_layer else None
+        #: per-tenant byte quota for the shared warm layer (None = no
+        #: quota): a greedy job then evicts only its own densities /
+        #: integral tables, never another tenant's (fair-share memory,
+        #: matching the fair-share scheduler)
+        self.tenant_max_bytes = tenant_max_bytes
+        self.guess_cache = (
+            GuessCache(tenant_max_bytes=tenant_max_bytes)
+            if warm_layer else None
+        )
+        if tenant_max_bytes is not None:
+            get_workspace().tenant_max_bytes = int(tenant_max_bytes)
         self._stop = threading.Event()
         self._process_clones: dict[str, object] = {}
         self.tasks_completed = 0
@@ -390,6 +406,11 @@ class TrajectoryService:
                 entry["error"] = job.error
             if job.started_at is not None and job.finished_at is not None:
                 entry["wall_s"] = job.finished_at - job.started_at
+            if getattr(job, "surrogate", None) is not None:
+                entry["surrogate"] = dict(
+                    job.surrogate.stats(),
+                    tasks_avoided=job.coordinator.surrogate_tasks_avoided,
+                )
             jobs[job_id] = entry
         return {
             "jobs": jobs,

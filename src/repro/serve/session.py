@@ -62,6 +62,14 @@ class JobSpec:
     ``weight`` is the fair-share weight (task draw priority scales with
     it); ``deterministic`` pins bitwise-reproducible resume semantics
     (canonical reductions, cold SCF guesses, exact Schwarz re-screens).
+
+    ``surrogate`` is either None or a config dict for the per-tenant
+    online MBE-tail surrogate (`repro.surrogate.SurrogateManager`), e.g.
+    ``{"tol_dimer": 5e-5, "tol_trimer": 2e-5, "min_train": 6}``. Each
+    job gets its *own* manager (models never cross tenants — unlike the
+    warm-layer density cache there is no composition-keyed sharing, a
+    tenant's dynamics alone must justify trusting its fits). Ignored
+    under ``deterministic`` (the coordinator forces the surrogate off).
     """
 
     job_id: str
@@ -78,6 +86,7 @@ class JobSpec:
     replan_interval: int = 1
     mts: dict | None = None
     thermostat: dict | None = None
+    surrogate: dict | None = None
     deterministic: bool = False
     checkpoint_every: int = 0
     checkpoint_keep: int = 2
@@ -240,6 +249,12 @@ class TrajectoryJob:
             )
             self.resumed_from = used
 
+        self.surrogate = None
+        if spec.surrogate is not None and not spec.deterministic:
+            from ..surrogate import SurrogateManager
+
+            self.surrogate = SurrogateManager(**spec.surrogate)
+
         mts = spec.mts or {}
         self.coordinator = AsyncCoordinator(
             self.system,
@@ -269,6 +284,7 @@ class TrajectoryJob:
             mts_extrapolate=bool(mts.get("extrapolate", False)),
             thermostat=build_thermostat(spec),
             step_callback=self._on_step,
+            surrogate=self.surrogate,
         )
 
         self.writer = TrajectoryStreamWriter(

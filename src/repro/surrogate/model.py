@@ -1,0 +1,200 @@
+"""Kernel-ridge committee surrogates over invariant fragment descriptors.
+
+The MD loop produces a stream of ``(fragment geometry -> energy, gradient)``
+pairs for every full RI-MP2 (or RI-HF) polymer solve.  This module learns
+that map online, per fragment class, with a small committee of kernel-ridge
+regressors whose disagreement serves as the uncertainty estimate that gates
+serving a prediction instead of scheduling a full solve.
+
+Design notes
+------------
+* The descriptor is the vector of inverse interatomic distances over the
+  capped fragment geometry.  It is exactly invariant under rotations and
+  translations and smooth in the coordinates.  Because every fragment of a
+  given class (same symbol sequence, same charge, same MBE order) is built
+  by ``FragmentedSystem.fragment_molecule`` with a canonical atom ordering,
+  descriptor components align across fragment instances of one class.
+* Targets are multi-output: the fragment energy plus the flattened
+  fragment-frame Cartesian gradient.  Gradient components are treated as
+  smooth functions of the invariant descriptor; this is exact for the
+  energy and a controlled local approximation for the gradient (fragments
+  rotate very little between trained and served geometries along an MD
+  trajectory).  The honest error story lives in docs/PERFORMANCE.md.
+* Each committee member fits a bootstrap resample of the training window.
+  The member RNG is seeded from ``(seed, member, n_points)`` only, never
+  from wall-clock state, so refitting the same window reproduces the same
+  committee bitwise -- this is what makes checkpoint round-trips exact.
+* The disagreement reported by ``predict`` is the committee energy spread
+  *plus* the Gaussian-process posterior standard deviation of the full-data
+  fit, scaled by the training-target spread.  Bootstrap members trained on
+  a correlated MD window agree almost perfectly even in far extrapolation
+  (every member reverts to its own bootstrap mean there, so the raw spread
+  *collapses* exactly where the prediction is worst); the GP variance term
+  grows toward the full target scale as the query leaves the training
+  manifold, which is what actually closes the serve-drift feedback loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "descriptor",
+    "descriptor_gradient_chain",
+    "KernelRidgeCommittee",
+]
+
+
+def descriptor(coords: np.ndarray) -> np.ndarray:
+    """Invariant descriptor: inverse distances over all atom pairs.
+
+    ``coords`` is ``(natoms, 3)`` in Bohr; returns ``(natoms*(natoms-1)/2,)``.
+    """
+    coords = np.asarray(coords, dtype=float)
+    n = coords.shape[0]
+    if n < 2:
+        return np.zeros(0, dtype=float)
+    diff = coords[:, None, :] - coords[None, :, :]
+    r = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    iu = np.triu_indices(n, 1)
+    return 1.0 / r[iu]
+
+
+def descriptor_gradient_chain(coords: np.ndarray) -> np.ndarray:
+    """Jacobian d(descriptor)/d(coords): ``(npairs, natoms, 3)``.
+
+    Not used on the serve path (gradients are interpolated directly as
+    committee targets) but kept for diagnostics and tests of descriptor
+    smoothness.
+    """
+    coords = np.asarray(coords, dtype=float)
+    n = coords.shape[0]
+    iu, ju = np.triu_indices(n, 1)
+    jac = np.zeros((len(iu), n, 3), dtype=float)
+    for p, (i, j) in enumerate(zip(iu, ju)):
+        d = coords[i] - coords[j]
+        r = float(np.sqrt(d @ d))
+        g = -d / r**3
+        jac[p, i] = g
+        jac[p, j] = -g
+    return jac
+
+
+@dataclass
+class _MemberFit:
+    """One fitted committee member: bootstrap sample + ridge solution."""
+
+    x_train: np.ndarray  # (nb, d)
+    alpha: np.ndarray  # (nb, m) dual coefficients
+    y_mean: np.ndarray  # (m,) target centering
+    length_scale: float
+
+
+@dataclass
+class KernelRidgeCommittee:
+    """Multi-output Gaussian kernel ridge committee with bootstrap members.
+
+    ``fit`` trains ``members`` regressors on bootstrap resamples of the
+    window; ``predict`` returns the committee-mean target vector together
+    with the maximum absolute deviation of any member's *energy* (target
+    component 0) from the mean -- the disagreement used by the gate.
+    """
+
+    members: int = 3
+    ridge: float = 1e-8
+    seed: int = 0
+    _fits: list[_MemberFit] = field(default_factory=list, repr=False)
+    _x_all: np.ndarray | None = field(default=None, repr=False)
+    _chol: np.ndarray | None = field(default=None, repr=False)
+    _scale: float = field(default=1.0, repr=False)
+    _target_scale: float = field(default=0.0, repr=False)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        n = x.shape[0]
+        if n < 2:
+            raise ValueError("committee fit needs at least 2 points")
+        scale = _median_length_scale(x)
+        # full-data GP machinery for the posterior-variance term of the
+        # disagreement: Cholesky of K + lam*I, plus the target scale that
+        # converts the unitless kernel variance into Hartree
+        k_full = _rbf(x, x, scale)
+        lam = self.ridge * max(1.0, float(np.trace(k_full)) / n)
+        k_full[np.diag_indices_from(k_full)] += lam
+        self._chol = np.linalg.cholesky(k_full)
+        self._x_all = x.copy()
+        self._scale = scale
+        grad_scale = float(y[:, 1:].std(axis=0).max()) if y.shape[1] > 1 else 0.0
+        self._target_scale = max(float(y[:, 0].std()), grad_scale)
+        self._fits = []
+        for b in range(self.members):
+            rng = np.random.default_rng([int(self.seed), b, n])
+            idx = np.sort(rng.integers(0, n, size=n))
+            # guarantee at least two distinct support points so the
+            # member interpolates rather than degenerating to a constant
+            if len(np.unique(idx)) < 2:
+                idx = np.arange(n)
+            xb, yb = x[idx], y[idx]
+            y_mean = yb.mean(axis=0)
+            k = _rbf(xb, xb, scale)
+            lam = self.ridge * max(1.0, float(np.trace(k)) / len(xb))
+            k[np.diag_indices_from(k)] += lam
+            alpha = np.linalg.solve(k, yb - y_mean)
+            self._fits.append(
+                _MemberFit(x_train=xb, alpha=alpha, y_mean=y_mean, length_scale=scale)
+            )
+
+    @property
+    def fitted(self) -> bool:
+        return bool(self._fits)
+
+    def predict(self, x: np.ndarray) -> tuple[np.ndarray, float]:
+        """Return ``(committee-mean targets (m,), disagreement)``.
+
+        The disagreement is the committee energy spread plus the GP
+        posterior sigma scaled into target units; see the module
+        docstring for why the variance term is load-bearing.
+        """
+        if not self._fits:
+            raise RuntimeError("predict before fit")
+        x = np.asarray(x, dtype=float)[None, :]
+        preds = []
+        for fit in self._fits:
+            k = _rbf(x, fit.x_train, fit.length_scale)
+            preds.append((k @ fit.alpha)[0] + fit.y_mean)
+        stacked = np.stack(preds)  # (members, m)
+        mean = stacked.mean(axis=0)
+        spread = float(np.max(np.abs(stacked[:, 0] - mean[0]))) if len(preds) > 1 else 0.0
+        kv = _rbf(x, self._x_all, self._scale)[0]
+        z = np.linalg.solve(self._chol, kv)
+        var = max(1.0 - float(z @ z), 0.0)
+        sigma = float(np.sqrt(var)) * self._target_scale
+        return mean, spread + sigma
+
+
+def _rbf(a: np.ndarray, b: np.ndarray, length_scale: float) -> np.ndarray:
+    d2 = (
+        np.sum(a * a, axis=1)[:, None]
+        + np.sum(b * b, axis=1)[None, :]
+        - 2.0 * (a @ b.T)
+    )
+    np.maximum(d2, 0.0, out=d2)
+    return np.exp(-d2 / (2.0 * length_scale**2))
+
+
+def _median_length_scale(x: np.ndarray) -> float:
+    n = x.shape[0]
+    d2 = (
+        np.sum(x * x, axis=1)[:, None]
+        + np.sum(x * x, axis=1)[None, :]
+        - 2.0 * (x @ x.T)
+    )
+    iu = np.triu_indices(n, 1)
+    dists = np.sqrt(np.maximum(d2[iu], 0.0))
+    positive = dists[dists > 0.0]
+    if positive.size == 0:
+        return 1.0
+    return float(np.median(positive))

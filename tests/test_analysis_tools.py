@@ -17,7 +17,7 @@ from repro.chem import Molecule
 from repro.frag import FragmentedSystem
 from repro.md import run_aimd
 from repro.scf import rhf
-from repro.systems import water_cluster, water_monomer
+from repro.systems import water_cluster
 from repro.vibrations import harmonic_analysis
 
 

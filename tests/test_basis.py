@@ -14,7 +14,6 @@ from repro.basis import (
     element_shells,
     primitive_norm,
 )
-from repro.chem import Molecule
 from repro.integrals import overlap
 
 

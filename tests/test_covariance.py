@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.calculators import RIMP2Calculator
-from repro.chem import Molecule
 from repro.chem.geometry import rotation_matrix
 from repro.constants import BOHR_PER_ANGSTROM, GRADIENT_RMSD_THRESHOLD
 from repro.frag import FragmentedSystem, build_plan, mbe_energy_gradient

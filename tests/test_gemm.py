@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 
 from repro.gemm import (
     GLOBAL_COUNTER,
-    GLOBAL_TUNER,
     VARIANTS,
     FlopCounter,
     GemmAutoTuner,

@@ -7,7 +7,6 @@ import numpy as np
 import pytest
 
 from repro.basis import BasisSet, auto_auxiliary
-from repro.chem import Molecule
 from repro.gemm import sym_inv_sqrt
 from repro.integrals import (
     contract_eri2c_deriv,

@@ -1,10 +1,8 @@
 """Counterpoise corrections, pair energies, and the GWH SCF guess."""
 
 from __future__ import annotations
-
 import numpy as np
 import pytest
-
 from repro.basis import BasisSet
 from repro.constants import BOHR_PER_ANGSTROM
 from repro.interaction import basis_with_ghosts, counterpoise_interaction
@@ -30,7 +28,7 @@ class TestGhostBasis:
 
     def test_ghost_energy_variational(self):
         """Adding ghost functions can only lower the monomer energy."""
-        from repro.basis.auxiliary import auto_auxiliary
+
         from repro.interaction import _aux_with_ghosts
 
         a = water_monomer()

@@ -6,8 +6,6 @@ import numpy as np
 import pytest
 
 from repro.calculators import PairwisePotentialCalculator, RIMP2Calculator
-from repro.chem import Molecule
-from repro.constants import BOHR_PER_ANGSTROM
 from repro.frag import FragmentedSystem
 from repro.md import (
     AsyncCoordinator,

@@ -68,7 +68,6 @@ class TestThermostats:
             fs, calc, nsteps=80, dt_fs=0.5, r_dimer_bohr=1e9, mbe_order=2,
             temperature_k=400.0, seed=2, thermostat=th,
         )
-        masses = mol.masses_au
         # kinetic temperature of late frames pulled toward 200 K
         ke_late = np.mean(traj.kinetic[-20:])
         t_late = 2 * ke_late / (3 * mol.natoms * 3.166811563e-6)

@@ -328,8 +328,8 @@ class TestCoordinatorMTS:
         outer boundaries: checkpoint candidates are k-aligned, so a
         misaligned checkpoint means corrupted input."""
         ck = tmp_path / "ck.npz"
-        c = self._coord(v0, nsteps=8, checkpoint_path=ck,
-                        checkpoint_every=2)
+        self._coord(v0, nsteps=8, checkpoint_path=ck,
+                    checkpoint_every=2)
         ckpt = read_checkpoint(ck, mol=glycine_fragmented(4).parent)
         assert ckpt.step % 4 != 0 or True  # any non-multiple works below
         bad = ckpt

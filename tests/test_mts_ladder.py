@@ -1,0 +1,145 @@
+"""Per-tier MTS ``k`` ladder: dimers every ``k``, trimers every ``k_trimer``.
+
+Covers the order-split identity (dimer tier + trimer tier == single slow
+tier, exactly), ladder dynamics (bounded drift against the single-tier
+run), parameter validation, and ladder checkpoint/resume bitwise
+continuation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calculators import PairwisePotentialCalculator
+from repro.constants import BOHR_PER_ANGSTROM
+from repro.frag.mbe import build_plan
+from repro.md import read_checkpoint, run_aimd
+from repro.md.integrators import maxwell_boltzmann_velocities
+from repro.md.mts import slow_tier_items, slow_tier_items_split
+from repro.systems import glycine_fragmented
+
+R_DIMER = 6.0 * BOHR_PER_ANGSTROM
+R_TRIMER = 9.0 * BOHR_PER_ANGSTROM
+
+
+@pytest.fixture(scope="module")
+def glycine4():
+    return glycine_fragmented(4)
+
+
+@pytest.fixture(scope="module")
+def v0(glycine4):
+    return maxwell_boltzmann_velocities(
+        glycine4.parent.masses_au, 300.0, seed=11
+    )
+
+
+def _run(system, v, **kw):
+    base = dict(
+        nsteps=16, dt_fs=0.25, r_dimer_bohr=R_DIMER,
+        r_trimer_bohr=R_TRIMER, mbe_order=3, replan_interval=4,
+        velocities=v.copy(),
+    )
+    base.update(kw)
+    return run_aimd(system, PairwisePotentialCalculator(), **base)
+
+
+class TestSplitIdentity:
+    def test_split_sums_to_single_slow_tier(self, glycine4):
+        """Regrouping the slow tier by originating MBE order is an
+        identity on the coefficient map, not an approximation."""
+        plan = build_plan(glycine4, R_DIMER, R_TRIMER, order=3)
+        assert plan.trimers, "fixture must actually have trimers"
+        merged: dict[tuple, float] = {}
+        tier2, tier3 = slow_tier_items_split(plan, glycine4.nmonomers)
+        for key, c in tier2 + tier3:
+            merged[key] = merged.get(key, 0.0) + c
+        single = dict(slow_tier_items(plan, glycine4.nmonomers))
+        for key in set(single) | set(merged):
+            assert merged.get(key, 0.0) == pytest.approx(
+                single.get(key, 0.0), abs=1e-12
+            ), key
+
+    def test_tiers_are_order_pure(self, glycine4):
+        plan = build_plan(glycine4, R_DIMER, R_TRIMER, order=3)
+        tier2, tier3 = slow_tier_items_split(plan, glycine4.nmonomers)
+        assert all(len(key) <= 2 for key, _ in tier2)
+        assert all(len(key) <= 3 for key, _ in tier3)
+        assert any(len(key) == 3 for key, _ in tier3)
+        assert not any(len(key) == 3 for key, _ in tier2)
+
+
+class TestLadderValidation:
+    def test_non_multiple_k_trimer_rejected(self, glycine4, v0):
+        with pytest.raises(ValueError, match="multiple"):
+            _run(glycine4, v0, mts_k=2, mts_k_trimer=3)
+
+    def test_smaller_k_trimer_rejected(self, glycine4, v0):
+        with pytest.raises(ValueError, match="multiple"):
+            _run(glycine4, v0, mts_k=4, mts_k_trimer=2)
+
+    def test_ladder_with_extrapolation_rejected(self, glycine4, v0):
+        with pytest.raises(ValueError, match="impulse"):
+            _run(
+                glycine4, v0, mts_k=2, mts_k_trimer=4,
+                mts_extrapolate=True,
+            )
+
+
+class TestLadderDynamics:
+    def test_equal_k_takes_single_tier_path(self, glycine4, v0):
+        """mts_k_trimer == mts_k must be bitwise the single-ladder run
+        (it is documented to take the exact same code path)."""
+        a = _run(glycine4, v0, mts_k=2)
+        b = _run(glycine4, v0, mts_k=2, mts_k_trimer=2)
+        np.testing.assert_array_equal(
+            np.asarray(a.total), np.asarray(b.total)
+        )
+
+    def test_ladder_tracks_single_tier_run(self, glycine4, v0):
+        """Stretching only the trimer tier must stay close to the
+        k-uniform MTS run: the trimer corrections are the smallest
+        contributions, which is the whole point of the ladder."""
+        uniform = _run(glycine4, v0, mts_k=2)
+        ladder = _run(glycine4, v0, mts_k=2, mts_k_trimer=4)
+        # compare at the common outer boundaries, where both runs hold
+        # freshly evaluated slow tiers
+        e_u = np.asarray(uniform.total)[::4]
+        e_l = np.asarray(ladder.total)[::4]
+        scale = max(abs(float(e_u[0])), 1e-12)
+        assert np.abs(e_l - e_u).max() / scale < 5e-2
+
+    def test_ladder_energy_drift_bounded(self, glycine4, v0):
+        ladder = _run(glycine4, v0, mts_k=2, mts_k_trimer=4)
+        assert abs(ladder.energy_drift()) < 1e-3
+
+
+class TestLadderCheckpoint:
+    def test_resume_is_bitwise(self, glycine4, v0, tmp_path):
+        ck = tmp_path / "ck.npz"
+        full = _run(
+            glycine4, v0, mts_k=2, mts_k_trimer=4,
+            checkpoint_path=ck, checkpoint_every=8,
+        )
+        ckpt = read_checkpoint(ck, mol=glycine4.parent)
+        resumed = _run(
+            glycine4, v0, mts_k=2, mts_k_trimer=4, resume=ckpt,
+        )
+        np.testing.assert_array_equal(
+            np.asarray(full.total), np.asarray(resumed.total)
+        )
+
+    def test_resume_requires_matching_ladder(self, glycine4, v0, tmp_path):
+        from repro.md import CheckpointError
+
+        ck = tmp_path / "ck.npz"
+        _run(
+            glycine4, v0, mts_k=2, mts_k_trimer=4,
+            checkpoint_path=ck, checkpoint_every=8,
+        )
+        ckpt = read_checkpoint(ck, mol=glycine4.parent)
+        with pytest.raises(CheckpointError, match="k_trimer"):
+            _run(glycine4, v0, mts_k=2, resume=ckpt)
+        with pytest.raises(CheckpointError, match="k_trimer"):
+            _run(glycine4, v0, mts_k=2, mts_k_trimer=8, resume=ckpt)

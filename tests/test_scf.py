@@ -1,15 +1,11 @@
 """RHF: literature energies, RI-vs-conventional consistency, gradients."""
 
 from __future__ import annotations
-
 import numpy as np
 import pytest
-
 from repro.chem import Molecule
-from repro.mp2 import mp2_conventional, mp2_ri
 from repro.scf import SCFConvergenceError, rhf, rhf_gradient
 from repro.scf.grad import rhf_gradient_conventional, rhf_gradient_ri
-
 from .conftest import finite_difference_gradient
 
 
@@ -64,7 +60,6 @@ class TestRHFEnergies:
 
     def test_virial_ratio_near_two(self, water):
         # -V/T should be close to 2 for a reasonable wavefunction
-        from repro.basis import BasisSet
         from repro.integrals import kinetic
 
         res = rhf(water, "sto-3g", ri=False)

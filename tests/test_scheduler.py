@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.calculators import PairwisePotentialCalculator
-from repro.constants import BOHR_PER_ANGSTROM
 from repro.frag import FragmentedSystem
 from repro.md import AsyncCoordinator, run_serial
 from repro.md.scheduler import FragmentStub

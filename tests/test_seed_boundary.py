@@ -1,0 +1,98 @@
+"""Cross-tenant seed store of `GuessCache` at the seed_tol_bohr boundary.
+
+The seed store answers another tenant's first solve of a
+same-composition fragment with the latest converged density — but only
+when every atom of the stored geometry lies within ``seed_tol_bohr`` of
+the requested one.  These tests pin the boundary semantics exactly:
+serve at the tolerance, refuse just past it, and never serve across
+composition keys or atom-count changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calculators import GuessCache
+
+SEED_KEY = ("H", "H", "O")
+TOL = 0.5
+
+
+@pytest.fixture
+def cache():
+    c = GuessCache(seed_tol_bohr=TOL)
+    coords = np.zeros((3, 3))
+    c.put(("jobA", 0), np.eye(4), natoms=3, seed_key=SEED_KEY,
+          coords=coords)
+    return c
+
+
+def _get(cache, coords, seed_key=SEED_KEY, natoms=3, key=("jobB", 5)):
+    return cache.get(key, natoms=natoms, seed_key=seed_key, coords=coords)
+
+
+class TestSeedBoundary:
+    def test_serves_inside_tolerance(self, cache):
+        coords = np.zeros((3, 3))
+        coords[1, 0] = 0.9 * TOL
+        D = _get(cache, coords)
+        np.testing.assert_array_equal(D, np.eye(4))
+        assert cache.seed_hits == 1
+        assert cache.tenant_stats["jobB"]["seed_hits"] == 1
+
+    def test_serves_exactly_at_tolerance(self, cache):
+        """The boundary itself is inclusive: displacement == tol serves
+        (the check is ``displacement > seed_tol_bohr``)."""
+        coords = np.zeros((3, 3))
+        coords[2, 1] = TOL
+        assert _get(cache, coords) is not None
+
+    def test_refuses_just_past_tolerance(self, cache):
+        coords = np.zeros((3, 3))
+        coords[2, 1] = np.nextafter(TOL, np.inf)
+        assert _get(cache, coords) is None
+        assert cache.seed_hits == 0
+        assert cache.misses == 1
+
+    def test_max_norm_not_mean(self, cache):
+        """One atom past the tolerance refuses even when the average
+        displacement is tiny — the check is per-atom (max), not RMS."""
+        coords = np.zeros((3, 3))
+        coords[0, 2] = 1.5 * TOL
+        assert _get(cache, coords) is None
+
+    def test_never_crosses_composition(self, cache):
+        assert _get(cache, np.zeros((3, 3)), seed_key=("H", "H")) is None
+
+    def test_natoms_mismatch_refuses(self, cache):
+        assert _get(cache, np.zeros((3, 3)), natoms=4) is None
+
+    def test_shape_mismatch_refuses(self, cache):
+        assert _get(cache, np.zeros((4, 3)), natoms=None) is None
+
+    def test_newest_seed_wins(self, cache):
+        """A later put of the same composition replaces the stored seed
+        geometry; the old geometry no longer serves."""
+        far = np.full((3, 3), 10.0)
+        cache.put(("jobC", 2), 2.0 * np.eye(4), natoms=3,
+                  seed_key=SEED_KEY, coords=far)
+        assert _get(cache, np.zeros((3, 3))) is None
+        D = _get(cache, far + 0.5 * TOL)
+        np.testing.assert_array_equal(D, 2.0 * np.eye(4))
+
+    def test_disabled_cache_never_seeds(self):
+        c = GuessCache(seed_tol_bohr=TOL, enabled=False)
+        c.put(("jobA", 0), np.eye(4), natoms=3, seed_key=SEED_KEY,
+              coords=np.zeros((3, 3)))
+        assert _get(c, np.zeros((3, 3))) is None
+
+    def test_own_history_preferred_over_seed(self, cache):
+        """A tenant with its own converged history never falls through
+        to the seed store."""
+        own = 3.0 * np.eye(4)
+        cache.put(("jobB", 5), own, natoms=3)
+        D = _get(cache, np.zeros((3, 3)))
+        np.testing.assert_array_equal(D, own)
+        assert cache.seed_hits == 0
+        assert cache.hits == 1

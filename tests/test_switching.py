@@ -111,7 +111,9 @@ class TestSwitchedMBE:
 
         crossings = []
         for j in range(1, system.nmonomers):
-            f = lambda s, j=j: pair_dist(s, j) - r_cut
+            def f(s, j=j):
+                return pair_dist(s, j) - r_cut
+
             if f(0.0) * f(8.0 * A) < 0:
                 crossings.append(brentq(f, 0.0, 8.0 * A, xtol=1e-10))
         assert crossings, "no pair crosses the cutoff in the scan range"

@@ -1,0 +1,147 @@
+"""Per-tenant byte quotas in `GuessCache` and `IntegralWorkspace`.
+
+A quota must only ever evict the over-budget tenant's own LRU entries —
+never another job's warm state, and never the entry whose put triggered
+the check — and every eviction must be attributed to the tenant that
+owned the evicted entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calculators import GuessCache
+from repro.integrals.workspace import IntegralWorkspace
+
+#: an 8 KiB density: quota arithmetic below is in units of this array
+ARR_BYTES = 8 * 32 * 32
+
+
+def _d(fill=1.0):
+    return np.full((32, 32), fill)
+
+
+class TestGuessCacheQuota:
+    def _cache(self, quota=2 * ARR_BYTES):
+        return GuessCache(history=1, tenant_max_bytes=quota)
+
+    def test_over_budget_tenant_evicts_own_lru(self):
+        c = self._cache()
+        c.put(("A", 0), _d(), natoms=2)
+        c.put(("B", 0), _d(), natoms=2)
+        c.put(("A", 1), _d(), natoms=2)
+        c.put(("A", 2), _d(), natoms=2)  # A now over 2-entry quota
+        assert c.get(("A", 0), natoms=2) is None
+        assert c.get(("A", 1), natoms=2) is not None
+        assert c.get(("A", 2), natoms=2) is not None
+        assert c.get(("B", 0), natoms=2) is not None
+        stats = c.stats()
+        assert stats["tenants"]["A"]["evictions"] == 1
+        assert stats["tenants"]["A"]["nbytes"] == 2 * ARR_BYTES
+        assert "evictions" not in stats["tenants"]["B"] or \
+            stats["tenants"]["B"]["evictions"] == 0
+
+    def test_just_stored_entry_never_evicted(self):
+        """A single entry larger than the quota stays resident: the
+        quota loop may not evict the key it just stored."""
+        c = GuessCache(history=1, tenant_max_bytes=ARR_BYTES // 2)
+        c.put(("A", 0), _d(), natoms=2)
+        assert c.get(("A", 0), natoms=2) is not None
+        assert c.stats()["evictions"] == 0
+
+    def test_unnamespaced_keys_exempt(self):
+        """Keys without a tenant namespace never count against any
+        quota and are never quota-evicted."""
+        c = GuessCache(history=1, tenant_max_bytes=ARR_BYTES)
+        for i in range(4):
+            c.put((i,), _d(), natoms=2)
+        assert all(c.get((i,), natoms=2) is not None for i in range(4))
+        assert "tenants" not in c.stats()
+
+    def test_global_eviction_attributed_to_owner(self):
+        """The global LRU budget still applies on top of quotas, and its
+        evictions are attributed to the evicted entry's owner — not the
+        tenant whose put triggered it."""
+        c = GuessCache(history=1, max_bytes=2 * ARR_BYTES + ARR_BYTES // 2)
+        c.put(("A", 0), _d(), natoms=2)
+        c.put(("B", 0), _d(), natoms=2)
+        c.put(("B", 1), _d(), natoms=2)  # global budget evicts ("A", 0)
+        assert c.get(("A", 0), natoms=2) is None
+        stats = c.stats()
+        assert stats["tenants"]["A"]["evictions"] == 1
+        assert stats["tenants"]["A"].get("nbytes", 0) == 0
+        assert stats["tenants"]["B"]["nbytes"] == 2 * ARR_BYTES
+
+    def test_invalidate_releases_tenant_bytes(self):
+        c = self._cache()
+        c.put(("A", 0), _d(), natoms=2)
+        assert c.stats()["tenants"]["A"]["nbytes"] == ARR_BYTES
+        c.invalidate(("A", 0))
+        # with no residual bytes and no get/evict record the tenant
+        # drops out of the stats block entirely
+        stats = c.stats()
+        assert stats.get("tenants", {}).get("A", {}).get("nbytes", 0) == 0
+
+    def test_no_quota_means_unbounded_tenant(self):
+        c = GuessCache(history=1)
+        for i in range(8):
+            c.put(("A", i), _d(), natoms=2)
+        assert c.stats()["evictions"] == 0
+
+
+class TestWorkspaceQuota:
+    def _ws(self, quota=2 * ARR_BYTES, **kw):
+        return IntegralWorkspace(tenant_max_bytes=quota, **kw)
+
+    def test_over_budget_tenant_evicts_own_lru(self):
+        ws = self._ws()
+        ws.set_tenant("A")
+        ws._put(("a0",), _d())
+        ws._put(("a1",), _d())
+        ws.set_tenant("B")
+        ws._put(("b0",), _d())
+        ws.set_tenant("A")
+        ws._put(("a2",), _d())  # A over quota: ("a0",) goes
+        assert ws._get(("a0",)) is None
+        assert ws._get(("a1",)) is not None
+        assert ws._get(("b0",)) is not None
+        stats = ws.stats()
+        assert stats["tenants"]["A"]["evictions"] == 1
+        assert stats["tenants"]["A"]["nbytes"] == 2 * ARR_BYTES
+        assert stats["tenants"]["B"]["nbytes"] == ARR_BYTES
+
+    def test_just_stored_entry_never_evicted(self):
+        ws = IntegralWorkspace(tenant_max_bytes=ARR_BYTES // 2)
+        ws.set_tenant("A")
+        ws._put(("big",), _d())
+        assert ws._get(("big",)) is not None
+
+    def test_anonymous_threads_exempt(self):
+        ws = self._ws(quota=ARR_BYTES)
+        for i in range(4):
+            ws._put((f"k{i}",), _d())
+        assert all(ws._get((f"k{i}",)) is not None for i in range(4))
+
+    def test_global_eviction_attributed_to_owner(self):
+        ws = IntegralWorkspace(max_bytes=2 * ARR_BYTES + ARR_BYTES // 2)
+        ws.set_tenant("A")
+        ws._put(("a0",), _d())
+        ws.set_tenant("B")
+        ws._put(("b0",), _d())
+        ws._put(("b1",), _d())  # global LRU evicts A's entry
+        assert ws._get(("a0",)) is None
+        stats = ws.stats()
+        assert stats["tenants"]["A"]["evictions"] == 1
+        assert stats["tenants"]["A"].get("nbytes", 0) == 0
+
+    def test_clear_resets_tenant_bytes(self):
+        ws = self._ws()
+        ws.set_tenant("A")
+        ws._put(("a0",), _d())
+        ws.clear()
+        assert ws.stats().get("tenants", {}).get("A", {}).get("nbytes", 0) == 0
+
+    def test_quota_requires_positive_int(self):
+        with pytest.raises((TypeError, ValueError)):
+            IntegralWorkspace(tenant_max_bytes="lots")
